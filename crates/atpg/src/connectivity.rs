@@ -1,0 +1,539 @@
+//! Graph utilities over the valve lattice: reachability and randomized
+//! simple-path search. These are the workhorses behind the greedy path
+//! cover, the leakage generator and cut-set validation.
+
+use fpva_grid::{CellId, EdgeId, EdgeKind, Fpva};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Whether fluid could ever cross this edge on a fault-free chip (i.e. the
+/// edge is a valve or an always-open channel site, not a wall).
+pub fn edge_passable(fpva: &Fpva, edge: EdgeId) -> bool {
+    fpva.edge_kind(edge) != EdgeKind::Wall
+}
+
+/// Component id per cell (indexed by [`Fpva::cell_index`]) where cells
+/// joined by always-open channel edges share a component. Cells outside
+/// channels are singleton components.
+///
+/// Pressure spreads freely inside such a component, so a flow path that
+/// visits one component in two separate stretches has an implicit bypass
+/// loop through the channel — [`crate::FlowPath`] rejects that.
+pub fn open_components(fpva: &Fpva) -> Vec<usize> {
+    let mut comp = vec![usize::MAX; fpva.cell_count()];
+    let mut next = 0usize;
+    for cell in fpva.cells() {
+        let ix = fpva.cell_index(cell);
+        if comp[ix] != usize::MAX {
+            continue;
+        }
+        comp[ix] = next;
+        let mut queue = std::collections::VecDeque::from([cell]);
+        while let Some(c) = queue.pop_front() {
+            for (edge, n) in fpva.neighbors(c) {
+                if fpva.edge_kind(edge) == EdgeKind::Open {
+                    let ni = fpva.cell_index(n);
+                    if comp[ni] == usize::MAX {
+                        comp[ni] = next;
+                        queue.push_back(n);
+                    }
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// Rewrites a simple path so that every open component is visited in one
+/// contiguous run: between the first entry into a component and the last
+/// exit from it, the detour outside is replaced by the in-component route
+/// (always-open edges, so the replacement is physically equivalent — the
+/// detour segment was a pressure bypass anyway). Returns the repaired
+/// simple path.
+pub fn repair_contiguity(
+    fpva: &Fpva,
+    components: &[usize],
+    mut cells: Vec<CellId>,
+) -> Vec<CellId> {
+    'outer: loop {
+        // Locate a component whose occurrences are non-contiguous.
+        let comp_of = |c: CellId| components[fpva.cell_index(c)];
+        for i in 0..cells.len() {
+            let c = comp_of(cells[i]);
+            let first = cells.iter().position(|&x| comp_of(x) == c).expect("present");
+            if first < i {
+                continue; // handled when scanning `first`
+            }
+            let last = cells.iter().rposition(|&x| comp_of(x) == c).expect("present");
+            let gap = (first..=last).any(|k| comp_of(cells[k]) != c);
+            if !gap {
+                continue;
+            }
+            // Splice: prefix ..=first, in-component route, suffix last.. .
+            let inner = path_within_component(fpva, components, c, cells[first], cells[last]);
+            let mut repaired = cells[..first].to_vec();
+            repaired.extend(inner);
+            repaired.extend(cells[last + 1..].iter().copied());
+            cells = repaired;
+            continue 'outer;
+        }
+        return cells;
+    }
+}
+
+/// BFS route between two cells of one open component using only the
+/// component's always-open edges.
+///
+/// # Panics
+///
+/// Panics if the cells are not in component `comp` (components are
+/// connected by construction, so a route always exists).
+fn path_within_component(
+    fpva: &Fpva,
+    components: &[usize],
+    comp: usize,
+    from: CellId,
+    to: CellId,
+) -> Vec<CellId> {
+    assert_eq!(components[fpva.cell_index(from)], comp);
+    assert_eq!(components[fpva.cell_index(to)], comp);
+    let mut prev: Vec<Option<CellId>> = vec![None; fpva.cell_count()];
+    let mut seen = vec![false; fpva.cell_count()];
+    seen[fpva.cell_index(from)] = true;
+    let mut queue = std::collections::VecDeque::from([from]);
+    while let Some(c) = queue.pop_front() {
+        if c == to {
+            let mut path = vec![c];
+            let mut cur = c;
+            while let Some(p) = prev[fpva.cell_index(cur)] {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return path;
+        }
+        for (edge, n) in fpva.neighbors(c) {
+            if fpva.edge_kind(edge) == EdgeKind::Open
+                && components[fpva.cell_index(n)] == comp
+                && !seen[fpva.cell_index(n)]
+            {
+                seen[fpva.cell_index(n)] = true;
+                prev[fpva.cell_index(n)] = Some(c);
+                queue.push_back(n);
+            }
+        }
+    }
+    panic!("open component {comp} is not connected");
+}
+
+/// Checks the channel-contiguity rule: the cells of every open component
+/// appear as one contiguous run of `cells`.
+pub fn components_contiguous(fpva: &Fpva, components: &[usize], cells: &[CellId]) -> bool {
+    let mut closed: HashSet<usize> = HashSet::new();
+    let mut current = usize::MAX;
+    for &cell in cells {
+        let c = components[fpva.cell_index(cell)];
+        if c == current {
+            continue;
+        }
+        if current != usize::MAX {
+            closed.insert(current);
+        }
+        if closed.contains(&c) {
+            return false;
+        }
+        current = c;
+    }
+    true
+}
+
+/// Cells of all source ports.
+pub fn source_cells(fpva: &Fpva) -> Vec<CellId> {
+    fpva.sources().map(|(_, p)| p.cell).collect()
+}
+
+/// Cells of all sink ports.
+pub fn sink_cells(fpva: &Fpva) -> Vec<CellId> {
+    fpva.sinks().map(|(_, p)| p.cell).collect()
+}
+
+/// BFS over passable edges, skipping `blocked` edges. Returns a
+/// `cell_count()`-sized reachability mask.
+pub fn reachable_from(fpva: &Fpva, starts: &[CellId], blocked: &HashSet<EdgeId>) -> Vec<bool> {
+    let mut seen = vec![false; fpva.cell_count()];
+    let mut queue = std::collections::VecDeque::new();
+    for &s in starts {
+        let ix = fpva.cell_index(s);
+        if !seen[ix] {
+            seen[ix] = true;
+            queue.push_back(s);
+        }
+    }
+    while let Some(cell) = queue.pop_front() {
+        for (edge, next) in fpva.neighbors(cell) {
+            if edge_passable(fpva, edge) && !blocked.contains(&edge) {
+                let ix = fpva.cell_index(next);
+                if !seen[ix] {
+                    seen[ix] = true;
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    seen
+}
+
+/// Randomized depth-first search for a simple path `start → goal` over
+/// passable edges.
+///
+/// * `avoid` edges are never crossed;
+/// * `visited` cells are never entered (the caller threads this through to
+///   concatenate segments into one simple path); on success the cells of
+///   the returned path are added to it;
+/// * neighbour order is randomly shuffled but edges for which `prefer`
+///   returns `true` are tried first — the greedy cover passes "edge's valve
+///   still uncovered" here, which makes the search naturally serpentine
+///   through unexplored array regions.
+///
+/// The search gives up after a work budget proportional to the array size
+/// rather than backtracking exhaustively (which would be exponential when
+/// the goal has been walled off); the caller retries with fresh
+/// randomness instead.
+///
+/// Returns the cell sequence `start ..= goal`, or `None` when the search
+/// exhausts its budget (the caller typically retries with fresh
+/// randomness).
+pub fn random_simple_path(
+    fpva: &Fpva,
+    start: CellId,
+    goal: CellId,
+    avoid: &HashSet<EdgeId>,
+    visited: &mut HashSet<CellId>,
+    prefer: &dyn Fn(EdgeId) -> bool,
+    rng: &mut impl Rng,
+) -> Option<Vec<CellId>> {
+    if visited.contains(&start) {
+        return None;
+    }
+    // Expansion budget: enough to walk the whole array with moderate
+    // backtracking, but far below exponential enumeration.
+    let mut budget = 16 * fpva.cell_count() + 64;
+    // Cheap pre-check: is the goal even reachable around `visited`?
+    {
+        let mut seen = vec![false; fpva.cell_count()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[fpva.cell_index(start)] = true;
+        queue.push_back(start);
+        let mut found = start == goal;
+        while let Some(cell) = queue.pop_front() {
+            if found {
+                break;
+            }
+            for (edge, next) in fpva.neighbors(cell) {
+                if edge_passable(fpva, edge)
+                    && !avoid.contains(&edge)
+                    && !visited.contains(&next)
+                    && !seen[fpva.cell_index(next)]
+                {
+                    if next == goal {
+                        found = true;
+                        break;
+                    }
+                    seen[fpva.cell_index(next)] = true;
+                    queue.push_back(next);
+                }
+            }
+        }
+        if !found {
+            return None;
+        }
+    }
+    // Iterative DFS: stack of (cell, remaining neighbour choices).
+    let mut path: Vec<CellId> = vec![start];
+    let mut choice_stack: Vec<Vec<(EdgeId, CellId)>> = Vec::new();
+    visited.insert(start);
+    let mut order_buffer: Vec<(EdgeId, CellId)> = Vec::new();
+
+    let expand = |cell: CellId,
+                  visited: &HashSet<CellId>,
+                  rng: &mut dyn rand::RngCore,
+                  buf: &mut Vec<(EdgeId, CellId)>| {
+        buf.clear();
+        for (edge, next) in fpva.neighbors(cell) {
+            if edge_passable(fpva, edge) && !avoid.contains(&edge) && !visited.contains(&next) {
+                buf.push((edge, next));
+            }
+        }
+        buf.shuffle(rng);
+        // Stable partition: preferred edges first (tried last-in-first-out,
+        // so push preferred LAST).
+        buf.sort_by_key(|&(e, _)| prefer(e));
+    };
+
+    if start == goal {
+        return Some(path);
+    }
+    expand(start, visited, rng, &mut order_buffer);
+    choice_stack.push(order_buffer.clone());
+
+    while let Some(choices) = choice_stack.last_mut() {
+        if budget == 0 {
+            // Unwind whatever this attempt consumed and give up.
+            for cell in path {
+                visited.remove(&cell);
+            }
+            return None;
+        }
+        budget -= 1;
+        let Some((_, next)) = choices.pop() else {
+            // Backtrack.
+            let dead = path.pop().expect("path nonempty while stack nonempty");
+            visited.remove(&dead);
+            choice_stack.pop();
+            continue;
+        };
+        if visited.contains(&next) {
+            continue;
+        }
+        visited.insert(next);
+        path.push(next);
+        if next == goal {
+            return Some(path);
+        }
+        expand(next, visited, rng, &mut order_buffer);
+        choice_stack.push(order_buffer.clone());
+    }
+    None
+}
+
+/// Searches for a simple source→sink path crossing `edge`, avoiding the
+/// `avoid` edges. Tries both orientations of `edge` and up to `tries`
+/// random restarts.
+///
+/// Returns the cell sequence (first cell = a source-port cell, last = a
+/// sink-port cell), or `None` when no attempt succeeds — which, after
+/// enough tries on these well-connected lattices, is strong evidence the
+/// valve cannot lie on any simple source→sink path.
+pub fn path_through_edge(
+    fpva: &Fpva,
+    edge: EdgeId,
+    avoid: &HashSet<EdgeId>,
+    prefer: &dyn Fn(EdgeId) -> bool,
+    rng: &mut impl Rng,
+    tries: usize,
+) -> Option<Vec<CellId>> {
+    if !edge_passable(fpva, edge) || avoid.contains(&edge) {
+        return None;
+    }
+    let sources = source_cells(fpva);
+    let sinks = sink_cells(fpva);
+    let (a, b) = edge.endpoints();
+    for attempt in 0..tries {
+        let (u, v) = if attempt % 2 == 0 { (a, b) } else { (b, a) };
+        let src = sources[rng.gen_range(0..sources.len())];
+        let snk = sinks[rng.gen_range(0..sinks.len())];
+        let mut visited: HashSet<CellId> = HashSet::new();
+        // Segment 1: source -> u (must not consume v, or the path could
+        // not continue across the edge).
+        visited.insert(v);
+        let Some(seg1) = random_simple_path(fpva, src, u, avoid, &mut visited, prefer, rng) else {
+            continue;
+        };
+        visited.remove(&v);
+        // Segment 2: v -> sink, avoiding everything segment 1 used.
+        let Some(seg2) = random_simple_path(fpva, v, snk, avoid, &mut visited, prefer, rng) else {
+            continue;
+        };
+        let mut cells = seg1;
+        cells.extend(seg2);
+        // Channel-bypass repair: splice out detours that re-enter an open
+        // component. The repair may remove the requested edge, in which
+        // case this attempt failed and the next one re-randomises.
+        let comps = open_components(fpva);
+        if !components_contiguous(fpva, &comps, &cells) {
+            cells = repair_contiguity(fpva, &comps, cells);
+        }
+        let crosses = cells
+            .windows(2)
+            .any(|w| fpva.edge_between(w[0], w[1]) == Some(edge));
+        if !crosses {
+            continue;
+        }
+        debug_assert!(components_contiguous(fpva, &comps, &cells));
+        return Some(cells);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpva_grid::{layouts, FpvaBuilder, PortKind, Side};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reachability_full_grid() {
+        let f = layouts::full_array(3, 3);
+        let seen = reachable_from(&f, &[CellId::new(0, 0)], &HashSet::new());
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn reachability_respects_blocked_edges() {
+        let f = layouts::full_array(1, 3);
+        let blocked: HashSet<EdgeId> = [EdgeId::horizontal(0, 1)].into_iter().collect();
+        let seen = reachable_from(&f, &[CellId::new(0, 0)], &blocked);
+        assert!(seen[f.cell_index(CellId::new(0, 1))]);
+        assert!(!seen[f.cell_index(CellId::new(0, 2))]);
+    }
+
+    #[test]
+    fn obstacles_block_reachability() {
+        let f = FpvaBuilder::new(3, 3)
+            .obstacle(0, 1, 2, 1)
+            .port(0, 0, Side::West, PortKind::Source)
+            .port(2, 2, Side::East, PortKind::Sink)
+            .build()
+            .unwrap();
+        let seen = reachable_from(&f, &[CellId::new(0, 0)], &HashSet::new());
+        assert!(!seen[f.cell_index(CellId::new(0, 2))], "obstacle column splits the array");
+    }
+
+    #[test]
+    fn random_path_reaches_goal_and_is_simple() {
+        let f = layouts::full_array(4, 4);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let mut visited = HashSet::new();
+            let path = random_simple_path(
+                &f,
+                CellId::new(0, 0),
+                CellId::new(3, 3),
+                &HashSet::new(),
+                &mut visited,
+                &|_| false,
+                &mut rng,
+            )
+            .expect("full grid is connected");
+            assert_eq!(path[0], CellId::new(0, 0));
+            assert_eq!(*path.last().unwrap(), CellId::new(3, 3));
+            let unique: HashSet<_> = path.iter().collect();
+            assert_eq!(unique.len(), path.len(), "path must be simple");
+            for w in path.windows(2) {
+                assert!(f.edge_between(w[0], w[1]).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn path_through_every_edge_of_small_grid() {
+        let f = layouts::full_array(3, 3);
+        let mut rng = StdRng::seed_from_u64(11);
+        for (_, edge) in f.valves() {
+            let cells = path_through_edge(&f, edge, &HashSet::new(), &|_| false, &mut rng, 64)
+                .unwrap_or_else(|| panic!("no path through {edge}"));
+            let crossed = cells.windows(2).any(|w| f.edge_between(w[0], w[1]) == Some(edge));
+            assert!(crossed, "returned path skips the requested edge {edge}");
+        }
+    }
+
+    #[test]
+    fn path_through_edge_respects_avoid() {
+        let f = layouts::full_array(1, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        // A 1x3 pipeline: avoiding edge 0 makes edge 1 unreachable.
+        let avoid: HashSet<EdgeId> = [EdgeId::horizontal(0, 0)].into_iter().collect();
+        let got =
+            path_through_edge(&f, EdgeId::horizontal(0, 1), &avoid, &|_| false, &mut rng, 16);
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn open_components_group_channel_cells() {
+        let f = FpvaBuilder::new(3, 4)
+            .channel_horizontal(1, 0, 2)
+            .port(0, 0, Side::North, PortKind::Source)
+            .port(2, 3, Side::South, PortKind::Sink)
+            .build()
+            .unwrap();
+        let comps = open_components(&f);
+        let id = |r, c| comps[f.cell_index(CellId::new(r, c))];
+        assert_eq!(id(1, 0), id(1, 1));
+        assert_eq!(id(1, 1), id(1, 2));
+        assert_ne!(id(1, 0), id(1, 3));
+        assert_ne!(id(0, 0), id(1, 0));
+        // Singleton components are all distinct.
+        assert_ne!(id(0, 0), id(0, 1));
+    }
+
+    #[test]
+    fn contiguity_rule_accepts_single_pass() {
+        let f = FpvaBuilder::new(3, 4)
+            .channel_horizontal(1, 0, 2)
+            .port(0, 0, Side::North, PortKind::Source)
+            .port(2, 3, Side::South, PortKind::Sink)
+            .build()
+            .unwrap();
+        let comps = open_components(&f);
+        // Straight pass through the channel: fine.
+        let pass: Vec<CellId> =
+            vec![CellId::new(0, 0), CellId::new(1, 0), CellId::new(1, 1), CellId::new(2, 1)];
+        assert!(components_contiguous(&f, &comps, &pass));
+        // Leave the channel and come back: bypass loop, rejected.
+        let reenter: Vec<CellId> = vec![
+            CellId::new(1, 0),
+            CellId::new(0, 0),
+            CellId::new(0, 1),
+            CellId::new(1, 1),
+        ];
+        assert!(!components_contiguous(&f, &comps, &reenter));
+    }
+
+    #[test]
+    fn path_through_edge_respects_channel_contiguity() {
+        use rand::SeedableRng;
+        // Vertical channel: paths crossing it twice are rejected, so every
+        // returned path must be contiguous per component.
+        let f = FpvaBuilder::new(5, 5)
+            .channel_vertical(2, 1, 3)
+            .port(0, 0, Side::West, PortKind::Source)
+            .port(4, 4, Side::East, PortKind::Sink)
+            .build()
+            .unwrap();
+        let comps = open_components(&f);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for (_, edge) in f.valves() {
+            if let Some(cells) =
+                path_through_edge(&f, edge, &HashSet::new(), &|_| false, &mut rng, 64)
+            {
+                assert!(
+                    components_contiguous(&f, &comps, &cells),
+                    "path through {edge} re-enters the channel"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn preference_biases_first_steps() {
+        // With a strong preference for uncovered (here: vertical) edges the
+        // first move from the corner should be south rather than east.
+        let f = layouts::full_array(3, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut visited = HashSet::new();
+        let path = random_simple_path(
+            &f,
+            CellId::new(0, 0),
+            CellId::new(2, 2),
+            &HashSet::new(),
+            &mut visited,
+            &|e| e.axis == fpva_grid::Axis::Vertical,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(path[1], CellId::new(1, 0), "preferred (vertical) edge tried first");
+    }
+}

@@ -1,0 +1,104 @@
+//! Valve coverage bookkeeping shared by the generators.
+
+use fpva_grid::{Fpva, ValveId};
+
+/// Tracks which valves are already covered by generated paths or cuts
+/// (the paper's constraint (2): every valve on at least one flow path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageTracker {
+    covered: Vec<bool>,
+    remaining: usize,
+}
+
+impl CoverageTracker {
+    /// A tracker with every valve of `fpva` uncovered.
+    pub fn new(fpva: &Fpva) -> Self {
+        let n = fpva.valve_count();
+        CoverageTracker { covered: vec![false; n], remaining: n }
+    }
+
+    /// Marks a valve covered; returns `true` when it was newly covered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn cover(&mut self, v: ValveId) -> bool {
+        let slot = &mut self.covered[v.index()];
+        if *slot {
+            false
+        } else {
+            *slot = true;
+            self.remaining -= 1;
+            true
+        }
+    }
+
+    /// Marks many valves covered; returns how many were new.
+    pub fn cover_all<I: IntoIterator<Item = ValveId>>(&mut self, valves: I) -> usize {
+        valves.into_iter().filter(|&v| self.cover(v)).count()
+    }
+
+    /// How many valves the given set would newly cover.
+    pub fn gain<'a, I: IntoIterator<Item = &'a ValveId>>(&self, valves: I) -> usize {
+        valves.into_iter().filter(|v| !self.covered[v.index()]).count()
+    }
+
+    /// `true` when `v` is covered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn is_covered(&self, v: ValveId) -> bool {
+        self.covered[v.index()]
+    }
+
+    /// Number of still-uncovered valves.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// `true` when every valve is covered.
+    pub fn is_complete(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// The uncovered valves, ascending.
+    pub fn uncovered(&self) -> Vec<ValveId> {
+        self.covered
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| !c)
+            .map(|(i, _)| ValveId(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpva_grid::layouts;
+
+    #[test]
+    fn cover_and_remaining() {
+        let f = layouts::full_array(2, 2);
+        let mut t = CoverageTracker::new(&f);
+        assert_eq!(t.remaining(), 4);
+        assert!(t.cover(ValveId(0)));
+        assert!(!t.cover(ValveId(0)), "double-cover is not new");
+        assert_eq!(t.remaining(), 3);
+        assert_eq!(t.cover_all([ValveId(1), ValveId(2), ValveId(1)]), 2);
+        assert_eq!(t.uncovered(), vec![ValveId(3)]);
+        assert!(!t.is_complete());
+        t.cover(ValveId(3));
+        assert!(t.is_complete());
+    }
+
+    #[test]
+    fn gain_counts_only_new() {
+        let f = layouts::full_array(2, 2);
+        let mut t = CoverageTracker::new(&f);
+        t.cover(ValveId(1));
+        let set = [ValveId(0), ValveId(1), ValveId(2)];
+        assert_eq!(t.gain(set.iter()), 2);
+    }
+}

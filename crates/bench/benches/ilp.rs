@@ -1,0 +1,22 @@
+//! Criterion bench for the in-workspace MILP solver on the paper's exact
+//! path-cover formulation (constraints (1)–(8)) at subblock scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpva_atpg::ilp_model::{min_path_cover_ilp, PathIlpConfig};
+use fpva_grid::layouts;
+use std::hint::black_box;
+
+fn bench_exact_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilp_exact_path_cover");
+    group.sample_size(10);
+    for n in [2usize, 3] {
+        let f = layouts::full_array(n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{n}")), &f, |b, f| {
+            b.iter(|| min_path_cover_ilp(black_box(f), &PathIlpConfig::default()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_cover);
+criterion_main!(benches);

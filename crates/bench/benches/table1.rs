@@ -1,0 +1,37 @@
+//! Criterion bench for Table I: end-to-end test-plan generation per array
+//! (the paper's `T` column), plus the per-phase generators on the largest
+//! array.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpva_atpg::cutset::cut_cover;
+use fpva_atpg::hierarchy::{hierarchical_cover, HierarchyConfig};
+use fpva_atpg::Atpg;
+use fpva_grid::layouts;
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_generation");
+    group.sample_size(10);
+    for entry in layouts::table1() {
+        group.bench_with_input(BenchmarkId::from_parameter(entry.name), &entry.fpva, |b, f| {
+            b.iter(|| Atpg::new().generate(black_box(f)).expect("valid layout"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_phases(c: &mut Criterion) {
+    let f = layouts::table1_30x30();
+    let mut group = c.benchmark_group("table1_phases_30x30");
+    group.sample_size(10);
+    group.bench_function("flow_paths", |b| {
+        b.iter(|| hierarchical_cover(black_box(&f), &HierarchyConfig::default()).unwrap());
+    });
+    group.bench_function("cut_sets", |b| {
+        b.iter(|| cut_cover(black_box(&f)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_phases);
+criterion_main!(benches);

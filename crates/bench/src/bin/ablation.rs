@@ -1,0 +1,90 @@
+//! Ablation studies on the design choices DESIGN.md calls out:
+//!
+//! 1. **Path engine**: hierarchical (band) vs direct greedy vs exact ILP —
+//!    vector counts and runtimes across array sizes (the trade-off behind
+//!    the paper's Section III-B-4).
+//! 2. **Masking constraint (9)**: pairwise two-fault detection with the
+//!    generated cut-sets, exhaustive on the small arrays (the paper's
+//!    "guarantee detection of any two faults" claim).
+//! 3. **Leakage vectors on/off**: control-leak coverage with and without
+//!    the dedicated vectors.
+//!
+//! Run with `cargo run --release -p fpva-bench --bin ablation`.
+
+use fpva_atpg::ilp_model::PathIlpConfig;
+use fpva_atpg::{Atpg, AtpgConfig, PathEngine};
+use fpva_grid::layouts;
+use fpva_sim::audit;
+use std::time::Instant;
+
+fn main() {
+    println!("== Ablation 1: path engine (count, seconds) ==");
+    println!("{:<8} | {:>14} | {:>14} | {:>14}", "array", "hierarchical", "greedy", "ilp(<=4x4)");
+    for entry in layouts::table1() {
+        let mut row = format!("{:<8} |", entry.name);
+        for engine in ["hier", "greedy", "ilp"] {
+            let config = match engine {
+                "hier" => AtpgConfig { leakage: false, ..Default::default() },
+                "greedy" => AtpgConfig {
+                    path_engine: PathEngine::Greedy,
+                    leakage: false,
+                    ..Default::default()
+                },
+                _ => AtpgConfig {
+                    path_engine: PathEngine::Ilp(PathIlpConfig::default()),
+                    leakage: false,
+                    ..Default::default()
+                },
+            };
+            // The exact ILP is only attempted on the smallest array; the
+            // larger ones would just burn the probe time limit.
+            if engine == "ilp" && entry.fpva.rows() > 5 {
+                row.push_str(&format!(" {:>14} |", "skipped"));
+                continue;
+            }
+            let t0 = Instant::now();
+            let plan = Atpg::with_config(config).generate(&entry.fpva).expect("valid layout");
+            row.push_str(&format!(
+                " {:>3} in {:>6.2}s |",
+                plan.flow_paths().len(),
+                t0.elapsed().as_secs_f64()
+            ));
+        }
+        println!("{row}");
+    }
+
+    println!("\n== Ablation 2: two-fault detection (stuck-at-0 x stuck-at-1 pairs) ==");
+    for entry in layouts::table1().into_iter().take(2) {
+        let plan = Atpg::new().generate(&entry.fpva).expect("valid layout");
+        let suite = plan.to_suite(&entry.fpva);
+        let report = if entry.fpva.valve_count() <= 200 {
+            audit::two_fault_audit(&entry.fpva, &suite)
+        } else {
+            audit::two_fault_audit_sampled(&entry.fpva, &suite, 20_000, 7)
+        };
+        println!(
+            "{:<8}: {}/{} pairs detected ({:.4}%)",
+            entry.name,
+            report.total - report.undetected.len(),
+            report.total,
+            100.0 * report.coverage()
+        );
+    }
+
+    println!("\n== Ablation 3: control-leak coverage with/without leakage vectors ==");
+    for entry in layouts::table1().into_iter().take(2) {
+        let with = Atpg::new().generate(&entry.fpva).expect("valid layout");
+        let without = Atpg::with_config(AtpgConfig { leakage: false, ..Default::default() })
+            .generate(&entry.fpva)
+            .expect("valid layout");
+        let cov_with = audit::leak_coverage(&entry.fpva, &with.to_suite(&entry.fpva));
+        let cov_without = audit::leak_coverage(&entry.fpva, &without.to_suite(&entry.fpva));
+        println!(
+            "{:<8}: with n_l={} -> {:.2}% | without -> {:.2}%",
+            entry.name,
+            with.leakage_paths().len(),
+            100.0 * cov_with.coverage(),
+            100.0 * cov_without.coverage()
+        );
+    }
+}

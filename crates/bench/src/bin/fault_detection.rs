@@ -1,0 +1,51 @@
+//! Regenerates the **Section IV fault-detection experiment**: for each
+//! Table I array, inject 1–5 random faults, apply the generated vectors,
+//! repeat 10 000 times per fault count (the paper reports that all faults
+//! were captured).
+//!
+//! Run with `cargo run --release -p fpva-bench --bin fault_detection`.
+//! Pass a trial count to override the default (e.g. `-- 1000` for a quick
+//! run).
+
+use fpva_bench::plan_table1;
+use fpva_sim::campaign::{self, CampaignConfig};
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+    println!("Section IV experiment — {trials} random injections per fault count");
+    println!(
+        "{:<8} {:>6} {:>4} | {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "array", "n_v", "N", "1 fault", "2 faults", "3 faults", "4 faults", "5 faults"
+    );
+    for planned in plan_table1() {
+        let e = &planned.entry;
+        let suite = planned.plan.to_suite(&e.fpva);
+        let config = CampaignConfig { trials, ..Default::default() };
+        let rows = campaign::run(&e.fpva, &suite, &config);
+        let cells: Vec<String> = rows
+            .iter()
+            .map(|r| format!("{:>6}/{}", r.detected, r.trials))
+            .collect();
+        println!(
+            "{:<8} {:>6} {:>4} | {}",
+            e.name,
+            e.fpva.valve_count(),
+            suite.len(),
+            cells.join(" ")
+        );
+        for r in &rows {
+            if !r.all_detected() {
+                println!(
+                    "  !! {} escapes at {} faults, e.g. {:?}",
+                    r.trials - r.detected,
+                    r.fault_count,
+                    r.escapes.first()
+                );
+            }
+        }
+    }
+    println!("\n(paper: all injected faults detected in all 10 000 trials)");
+}

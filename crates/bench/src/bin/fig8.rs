@@ -1,0 +1,40 @@
+//! Regenerates **Fig. 8** of the paper: flow paths on the full 10×10 array
+//! from the direct model vs the hierarchical model (5×5 subblocks).
+//!
+//! The paper's direct ILP finds 2 paths; our direct engine (greedy with
+//! serpentine seeds — the exact ILP is impractical at this size without a
+//! commercial solver, see DESIGN.md §4.1) typically needs one or two more.
+//! The hierarchical engine reproduces the paper's 4 paths exactly.
+//!
+//! Run with `cargo run --release -p fpva-bench --bin fig8`.
+
+use fpva_atpg::heuristic::{greedy_cover, prune_redundant};
+use fpva_atpg::hierarchy::{hierarchical_cover, HierarchyConfig};
+use fpva_bench::render_paths;
+use fpva_grid::layouts;
+
+fn main() {
+    let f = layouts::full_array(10, 10);
+    println!("Fig. 8 — full 10x10 array, {} valves\n", f.valve_count());
+
+    // Best-of-seeds randomized direct cover (the exact ILP is out of reach
+    // for a textbook branch-and-bound at this size).
+    let direct_paths = (0..16u64)
+        .map(|seed| {
+            let cover = greedy_cover(&f, 0xF18A ^ seed, 96).expect("full array has ports");
+            assert!(cover.is_complete(), "direct cover incomplete");
+            prune_redundant(&f, cover.paths)
+        })
+        .min_by_key(Vec::len)
+        .expect("at least one seed");
+    println!(
+        "(a) direct model: {} paths (paper: 2 via commercial ILP)",
+        direct_paths.len()
+    );
+    println!("{}", render_paths(&f, &direct_paths));
+
+    let hier = hierarchical_cover(&f, &HierarchyConfig::default()).expect("ports exist");
+    assert!(hier.is_complete(), "hierarchical cover incomplete");
+    println!("(b) hierarchical model (5x5 blocks): {} paths (paper: 4)", hier.paths.len());
+    println!("{}", render_paths(&f, &hier.paths));
+}

@@ -1,0 +1,23 @@
+//! Regenerates **Fig. 9** of the paper: the flow paths covering all 744
+//! valves of the 20×20 array with three channels (`~`) and two obstacles
+//! (`#`).
+//!
+//! Run with `cargo run --release -p fpva-bench --bin fig9`.
+
+use fpva_atpg::Atpg;
+use fpva_bench::render_paths;
+use fpva_grid::layouts;
+
+fn main() {
+    let f = layouts::table1_20x20();
+    let plan = Atpg::new().generate(&f).expect("benchmark layout is valid");
+    println!(
+        "Fig. 9 — 20x20 array with channels and obstacles: {} flow paths cover all {} valves (paper: 16)",
+        plan.flow_paths().len(),
+        f.valve_count()
+    );
+    assert!(plan.untestable_open().is_empty());
+    println!("{}", render_paths(&f, plan.flow_paths()));
+    println!("legend: digits/letters = path index, ~ = channel, # = obstacle,");
+    println!("        S = pressure source, M = pressure meter");
+}

@@ -1,0 +1,79 @@
+//! Shared helpers for the benchmark binaries and Criterion benches that
+//! regenerate the tables and figures of the paper.
+
+use fpva_atpg::{Atpg, TestPlan};
+use fpva_grid::layouts::Table1Entry;
+use fpva_grid::Fpva;
+
+/// A generated plan next to its Table I reference row.
+pub struct PlannedEntry {
+    /// The benchmark instance with the paper's reported numbers.
+    pub entry: Table1Entry,
+    /// Our generated plan.
+    pub plan: TestPlan,
+}
+
+/// Generates plans for every Table I array with the default configuration.
+///
+/// # Panics
+///
+/// Panics if generation fails on a benchmark layout (they are validated by
+/// the test suite, so this indicates a build problem).
+pub fn plan_table1() -> Vec<PlannedEntry> {
+    fpva_grid::layouts::table1()
+        .into_iter()
+        .map(|entry| {
+            let plan = Atpg::new()
+                .generate(&entry.fpva)
+                .unwrap_or_else(|e| panic!("plan generation failed for {}: {e}", entry.name));
+            PlannedEntry { entry, plan }
+        })
+        .collect()
+}
+
+/// Renders an array with its flow paths overlaid, one digit/letter per
+/// path (`1`–`9`, then `a`–`z`), for the Fig. 8/9 reproductions.
+pub fn render_paths(fpva: &Fpva, paths: &[fpva_atpg::FlowPath]) -> String {
+    let mut decor = fpva_grid::render::Decor::new();
+    for (i, path) in paths.iter().enumerate() {
+        let mark = path_mark(i);
+        for pair in path.cells().windows(2) {
+            if let Some(edge) = fpva.edge_between(pair[0], pair[1]) {
+                decor.mark_edge(edge, mark);
+            }
+        }
+        for &cell in path.cells() {
+            decor.mark_cell(cell, mark);
+        }
+    }
+    fpva_grid::render::render_with(fpva, &decor)
+}
+
+/// Digit/letter label for the `i`-th path.
+pub fn path_mark(i: usize) -> char {
+    match i {
+        0..=8 => char::from(b'1' + i as u8),
+        _ => char::from(b'a' + ((i - 9) % 26) as u8),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_marks_cycle() {
+        assert_eq!(path_mark(0), '1');
+        assert_eq!(path_mark(8), '9');
+        assert_eq!(path_mark(9), 'a');
+        assert_eq!(path_mark(10), 'b');
+    }
+
+    #[test]
+    fn render_paths_marks_edges() {
+        let f = fpva_grid::layouts::full_array(3, 3);
+        let plan = Atpg::new().generate(&f).unwrap();
+        let art = render_paths(&f, plan.flow_paths());
+        assert!(art.contains('1'));
+    }
+}

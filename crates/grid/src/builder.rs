@@ -1,0 +1,332 @@
+//! Construction and validation of [`Fpva`] layouts.
+
+use crate::array::{CellKind, EdgeKind, Fpva, Port, PortKind};
+use crate::error::GridError;
+use crate::geometry::{CellId, EdgeIndexer, Side};
+
+/// Builder for [`Fpva`] arrays.
+///
+/// Start from a full `rows × cols` valve lattice and carve out channels
+/// (valve-free, always-open runs of cells), obstacles (valve-free,
+/// always-closed regions) and boundary ports.
+///
+/// ```
+/// use fpva_grid::{FpvaBuilder, PortKind, Side};
+///
+/// # fn main() -> Result<(), fpva_grid::GridError> {
+/// let fpva = FpvaBuilder::new(5, 5)
+///     .channel_horizontal(2, 1, 2) // removes 1 valve
+///     .port(0, 0, Side::West, PortKind::Source)
+///     .port(4, 4, Side::East, PortKind::Sink)
+///     .build()?;
+/// assert_eq!(fpva.valve_count(), 2 * 5 * 4 - 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FpvaBuilder {
+    rows: usize,
+    cols: usize,
+    channels: Vec<ChannelSpec>,
+    obstacles: Vec<ObstacleSpec>,
+    ports: Vec<Port>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ChannelSpec {
+    start: CellId,
+    len: usize,
+    horizontal: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ObstacleSpec {
+    top_left: CellId,
+    bottom_right: CellId,
+}
+
+impl FpvaBuilder {
+    /// Starts a full `rows × cols` array with a valve on every internal
+    /// edge and no ports.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        FpvaBuilder { rows, cols, channels: Vec::new(), obstacles: Vec::new(), ports: Vec::new() }
+    }
+
+    /// Declares a horizontal transportation channel spanning the cells
+    /// `(row, col_start) ..= (row, col_end)`. The valves between consecutive
+    /// channel cells are not built (the sites are permanently open), so the
+    /// feature removes `col_end - col_start` valves.
+    pub fn channel_horizontal(mut self, row: usize, col_start: usize, col_end: usize) -> Self {
+        self.channels.push(ChannelSpec {
+            start: CellId::new(row, col_start),
+            len: col_end.saturating_sub(col_start) + 1,
+            horizontal: true,
+        });
+        self
+    }
+
+    /// Declares a vertical transportation channel spanning the cells
+    /// `(row_start, col) ..= (row_end, col)`; removes `row_end - row_start`
+    /// valves.
+    pub fn channel_vertical(mut self, col: usize, row_start: usize, row_end: usize) -> Self {
+        self.channels.push(ChannelSpec {
+            start: CellId::new(row_start, col),
+            len: row_end.saturating_sub(row_start) + 1,
+            horizontal: false,
+        });
+        self
+    }
+
+    /// Declares a rectangular obstacle covering the cells
+    /// `(row0, col0) ..= (row1, col1)`. No valves are built on any edge
+    /// incident to an obstacle cell; those sites are permanent walls.
+    pub fn obstacle(mut self, row0: usize, col0: usize, row1: usize, col1: usize) -> Self {
+        self.obstacles.push(ObstacleSpec {
+            top_left: CellId::new(row0.min(row1), col0.min(col1)),
+            bottom_right: CellId::new(row0.max(row1), col0.max(col1)),
+        });
+        self
+    }
+
+    /// Declares a boundary port on cell `(row, col)` opening through chip
+    /// side `side`.
+    pub fn port(mut self, row: usize, col: usize, side: Side, kind: PortKind) -> Self {
+        self.ports.push(Port { cell: CellId::new(row, col), side, kind });
+        self
+    }
+
+    /// Validates the layout and produces the immutable [`Fpva`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GridError`] when the array is empty, a feature is out of
+    /// bounds, a channel is shorter than two cells, channels/obstacles
+    /// conflict, or a port is misplaced (not on the boundary, facing
+    /// inward, on an obstacle, or duplicated).
+    pub fn build(self) -> Result<Fpva, GridError> {
+        if self.rows == 0 || self.cols == 0 {
+            return Err(GridError::EmptyArray);
+        }
+        let (rows, cols) = (self.rows, self.cols);
+        let indexer = EdgeIndexer { rows, cols };
+        let mut edge_kinds = vec![EdgeKind::Valve; indexer.count()];
+        let mut cell_kinds = vec![CellKind::Normal; rows * cols];
+        let in_bounds = |c: CellId| c.row < rows && c.col < cols;
+        let cell_ix = |c: CellId| c.row * cols + c.col;
+
+        // Obstacles first: they claim cells exclusively.
+        for ob in &self.obstacles {
+            if !in_bounds(ob.bottom_right) {
+                return Err(GridError::OutOfBounds { cell: ob.bottom_right, rows, cols });
+            }
+            for r in ob.top_left.row..=ob.bottom_right.row {
+                for c in ob.top_left.col..=ob.bottom_right.col {
+                    let cell = CellId::new(r, c);
+                    if cell_kinds[cell_ix(cell)] == CellKind::Obstacle {
+                        return Err(GridError::RegionConflict { cell });
+                    }
+                    cell_kinds[cell_ix(cell)] = CellKind::Obstacle;
+                }
+            }
+        }
+        // Every edge incident to an obstacle cell is a wall.
+        for i in 0..indexer.count() {
+            let (a, b) = indexer.edge(i).endpoints();
+            if cell_kinds[cell_ix(a)] == CellKind::Obstacle
+                || cell_kinds[cell_ix(b)] == CellKind::Obstacle
+            {
+                edge_kinds[i] = EdgeKind::Wall;
+            }
+        }
+
+        // Channels: mark cells and open the edges between consecutive cells.
+        for ch in &self.channels {
+            if ch.len < 2 {
+                return Err(GridError::ChannelTooShort { start: ch.start });
+            }
+            let cells: Vec<CellId> = (0..ch.len)
+                .map(|k| {
+                    if ch.horizontal {
+                        CellId::new(ch.start.row, ch.start.col + k)
+                    } else {
+                        CellId::new(ch.start.row + k, ch.start.col)
+                    }
+                })
+                .collect();
+            for &cell in &cells {
+                if !in_bounds(cell) {
+                    return Err(GridError::OutOfBounds { cell, rows, cols });
+                }
+                if cell_kinds[cell_ix(cell)] == CellKind::Obstacle {
+                    return Err(GridError::RegionConflict { cell });
+                }
+                cell_kinds[cell_ix(cell)] = CellKind::Channel;
+            }
+            for pair in cells.windows(2) {
+                let e = if ch.horizontal {
+                    crate::geometry::EdgeId::horizontal(pair[0].row, pair[0].col)
+                } else {
+                    crate::geometry::EdgeId::vertical(pair[0].row, pair[0].col)
+                };
+                let i = indexer.index(e);
+                if edge_kinds[i] == EdgeKind::Wall {
+                    return Err(GridError::RegionConflict { cell: pair[0] });
+                }
+                edge_kinds[i] = EdgeKind::Open;
+            }
+        }
+
+        // Ports.
+        let mut seen: Vec<(CellId, Side)> = Vec::new();
+        for p in &self.ports {
+            if !in_bounds(p.cell) {
+                return Err(GridError::OutOfBounds { cell: p.cell, rows, cols });
+            }
+            if p.cell.neighbor(p.side, rows, cols).is_some() {
+                // The side points at another cell, not off-chip.
+                return Err(GridError::PortNotOnBoundary { cell: p.cell, side: p.side });
+            }
+            if cell_kinds[cell_ix(p.cell)] == CellKind::Obstacle {
+                return Err(GridError::PortOnObstacle { cell: p.cell });
+            }
+            if seen.contains(&(p.cell, p.side)) {
+                return Err(GridError::DuplicatePort { cell: p.cell, side: p.side });
+            }
+            seen.push((p.cell, p.side));
+        }
+
+        Ok(Fpva::from_parts(rows, cols, edge_kinds, cell_kinds, self.ports))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::EdgeKind;
+    use crate::geometry::EdgeId;
+
+    #[test]
+    fn empty_array_rejected() {
+        assert_eq!(FpvaBuilder::new(0, 5).build().unwrap_err(), GridError::EmptyArray);
+        assert_eq!(FpvaBuilder::new(5, 0).build().unwrap_err(), GridError::EmptyArray);
+    }
+
+    #[test]
+    fn channel_removes_valves() {
+        let f = FpvaBuilder::new(5, 5).channel_horizontal(2, 1, 3).build().unwrap();
+        assert_eq!(f.valve_count(), 40 - 2);
+        assert_eq!(f.edge_kind(EdgeId::horizontal(2, 1)), EdgeKind::Open);
+        assert_eq!(f.edge_kind(EdgeId::horizontal(2, 2)), EdgeKind::Open);
+        assert_eq!(f.edge_kind(EdgeId::horizontal(2, 0)), EdgeKind::Valve);
+        assert_eq!(f.cell_kind(CellId::new(2, 2)), CellKind::Channel);
+    }
+
+    #[test]
+    fn vertical_channel_removes_valves() {
+        let f = FpvaBuilder::new(6, 4).channel_vertical(1, 0, 4).build().unwrap();
+        assert_eq!(f.valve_count(), (6 * 3 + 5 * 4) - 4);
+        assert_eq!(f.edge_kind(EdgeId::vertical(0, 1)), EdgeKind::Open);
+        assert_eq!(f.edge_kind(EdgeId::vertical(3, 1)), EdgeKind::Open);
+        assert_eq!(f.edge_kind(EdgeId::vertical(4, 1)), EdgeKind::Valve);
+    }
+
+    #[test]
+    fn obstacle_walls_all_incident_edges() {
+        let f = FpvaBuilder::new(5, 5).obstacle(2, 2, 2, 2).build().unwrap();
+        // A 1x1 interior obstacle removes its 4 incident valves.
+        assert_eq!(f.valve_count(), 40 - 4);
+        assert_eq!(f.cell_kind(CellId::new(2, 2)), CellKind::Obstacle);
+        assert_eq!(f.edge_kind(EdgeId::horizontal(2, 1)), EdgeKind::Wall);
+        assert_eq!(f.edge_kind(EdgeId::horizontal(2, 2)), EdgeKind::Wall);
+        assert_eq!(f.edge_kind(EdgeId::vertical(1, 2)), EdgeKind::Wall);
+        assert_eq!(f.edge_kind(EdgeId::vertical(2, 2)), EdgeKind::Wall);
+    }
+
+    #[test]
+    fn obstacle_block_edge_count() {
+        // 2x2 interior obstacle: 4 internal edges + 8 perimeter edges.
+        let f = FpvaBuilder::new(6, 6).obstacle(2, 2, 3, 3).build().unwrap();
+        assert_eq!(f.valve_count(), 2 * 6 * 5 - 12);
+    }
+
+    #[test]
+    fn channel_too_short() {
+        let err = FpvaBuilder::new(5, 5).channel_horizontal(0, 2, 2).build().unwrap_err();
+        assert!(matches!(err, GridError::ChannelTooShort { .. }));
+    }
+
+    #[test]
+    fn out_of_bounds_channel() {
+        let err = FpvaBuilder::new(5, 5).channel_horizontal(0, 3, 6).build().unwrap_err();
+        assert!(matches!(err, GridError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn channel_through_obstacle_conflicts() {
+        let err = FpvaBuilder::new(5, 5)
+            .obstacle(2, 2, 2, 2)
+            .channel_horizontal(2, 1, 3)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GridError::RegionConflict { .. }));
+    }
+
+    #[test]
+    fn overlapping_obstacles_conflict() {
+        let err =
+            FpvaBuilder::new(5, 5).obstacle(1, 1, 2, 2).obstacle(2, 2, 3, 3).build().unwrap_err();
+        assert!(matches!(err, GridError::RegionConflict { .. }));
+    }
+
+    #[test]
+    fn port_must_face_off_chip() {
+        let err = FpvaBuilder::new(5, 5)
+            .port(0, 0, Side::East, PortKind::Source)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GridError::PortNotOnBoundary { .. }));
+        // Interior cell: every side faces another cell.
+        let err = FpvaBuilder::new(5, 5)
+            .port(2, 2, Side::North, PortKind::Source)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GridError::PortNotOnBoundary { .. }));
+    }
+
+    #[test]
+    fn port_on_obstacle_rejected() {
+        let err = FpvaBuilder::new(5, 5)
+            .obstacle(0, 0, 0, 0)
+            .port(0, 0, Side::West, PortKind::Source)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GridError::PortOnObstacle { .. }));
+    }
+
+    #[test]
+    fn duplicate_port_rejected() {
+        let err = FpvaBuilder::new(5, 5)
+            .port(0, 0, Side::West, PortKind::Source)
+            .port(0, 0, Side::West, PortKind::Sink)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GridError::DuplicatePort { .. }));
+    }
+
+    #[test]
+    fn two_ports_same_cell_different_sides_ok() {
+        let f = FpvaBuilder::new(5, 5)
+            .port(0, 0, Side::West, PortKind::Source)
+            .port(0, 0, Side::North, PortKind::Sink)
+            .build()
+            .unwrap();
+        assert_eq!(f.port_count(), 2);
+    }
+
+    #[test]
+    fn one_by_one_array_builds() {
+        let f = FpvaBuilder::new(1, 1).port(0, 0, Side::West, PortKind::Source).build().unwrap();
+        assert_eq!(f.valve_count(), 0);
+        assert_eq!(f.cell_count(), 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for layout construction.
+
+use crate::geometry::{CellId, Side};
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by [`crate::FpvaBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GridError {
+    /// The array must have at least one row and one column.
+    EmptyArray,
+    /// A channel, obstacle or port refers to a cell outside the array.
+    OutOfBounds {
+        /// The offending cell.
+        cell: CellId,
+        /// Array rows.
+        rows: usize,
+        /// Array columns.
+        cols: usize,
+    },
+    /// A channel must span at least two cells.
+    ChannelTooShort {
+        /// First cell of the channel.
+        start: CellId,
+    },
+    /// Two features (channel/obstacle) disagree about an edge or cell.
+    RegionConflict {
+        /// A cell inside the conflicting region.
+        cell: CellId,
+    },
+    /// A port was placed on a cell that is not on the chip boundary, or its
+    /// side does not face off-chip.
+    PortNotOnBoundary {
+        /// Port cell.
+        cell: CellId,
+        /// Port side.
+        side: Side,
+    },
+    /// A port was placed on an obstacle cell.
+    PortOnObstacle {
+        /// Port cell.
+        cell: CellId,
+    },
+    /// Two ports occupy the same cell and side.
+    DuplicatePort {
+        /// Port cell.
+        cell: CellId,
+        /// Port side.
+        side: Side,
+    },
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::EmptyArray => write!(f, "array must have at least one row and one column"),
+            GridError::OutOfBounds { cell, rows, cols } => {
+                write!(f, "cell {cell} is outside the {rows}x{cols} array")
+            }
+            GridError::ChannelTooShort { start } => {
+                write!(f, "channel starting at {start} must span at least two cells")
+            }
+            GridError::RegionConflict { cell } => {
+                write!(f, "conflicting channel/obstacle features at cell {cell}")
+            }
+            GridError::PortNotOnBoundary { cell, side } => {
+                write!(f, "port at {cell} side {side} does not open through the chip boundary")
+            }
+            GridError::PortOnObstacle { cell } => {
+                write!(f, "port at {cell} is placed on an obstacle cell")
+            }
+            GridError::DuplicatePort { cell, side } => {
+                write!(f, "duplicate port at {cell} side {side}")
+            }
+        }
+    }
+}
+
+impl Error for GridError {}

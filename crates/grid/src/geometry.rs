@@ -1,0 +1,309 @@
+//! Cell, edge and side coordinates of the valve lattice.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Location of a fluid cell: `row` 0 is the top of the chip, `col` 0 the
+/// left edge.
+///
+/// ```
+/// use fpva_grid::CellId;
+/// let c = CellId::new(2, 3);
+/// assert_eq!((c.row, c.col), (2, 3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CellId {
+    /// Row index, 0-based from the top.
+    pub row: usize,
+    /// Column index, 0-based from the left.
+    pub col: usize,
+}
+
+impl CellId {
+    /// Creates a cell id from row/column indices.
+    pub const fn new(row: usize, col: usize) -> Self {
+        CellId { row, col }
+    }
+
+    /// The neighbouring cell on the given side, or `None` when it would
+    /// leave the `rows × cols` grid.
+    pub fn neighbor(self, side: Side, rows: usize, cols: usize) -> Option<CellId> {
+        match side {
+            Side::North if self.row > 0 => Some(CellId::new(self.row - 1, self.col)),
+            Side::South if self.row + 1 < rows => Some(CellId::new(self.row + 1, self.col)),
+            Side::West if self.col > 0 => Some(CellId::new(self.row, self.col - 1)),
+            Side::East if self.col + 1 < cols => Some(CellId::new(self.row, self.col + 1)),
+            _ => None,
+        }
+    }
+
+    /// Whether the cell lies on the chip boundary of a `rows × cols` grid.
+    pub fn is_boundary(self, rows: usize, cols: usize) -> bool {
+        self.row == 0 || self.col == 0 || self.row + 1 == rows || self.col + 1 == cols
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.row, self.col)
+    }
+}
+
+/// One of the four sides of a cell (or of the chip).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Side {
+    /// Towards row 0.
+    North,
+    /// Towards the last row.
+    South,
+    /// Towards the last column.
+    East,
+    /// Towards column 0.
+    West,
+}
+
+impl Side {
+    /// All four sides in a fixed order.
+    pub const ALL: [Side; 4] = [Side::North, Side::South, Side::East, Side::West];
+
+    /// The opposite side.
+    ///
+    /// ```
+    /// use fpva_grid::Side;
+    /// assert_eq!(Side::North.opposite(), Side::South);
+    /// ```
+    pub fn opposite(self) -> Side {
+        match self {
+            Side::North => Side::South,
+            Side::South => Side::North,
+            Side::East => Side::West,
+            Side::West => Side::East,
+        }
+    }
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Side::North => "north",
+            Side::South => "south",
+            Side::East => "east",
+            Side::West => "west",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Axis of an internal edge (valve site) of the lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Axis {
+    /// Edge between `(r, c)` and `(r, c + 1)` — fluid crosses it moving
+    /// east/west, so the physical valve is a vertical barrier.
+    Horizontal,
+    /// Edge between `(r, c)` and `(r + 1, c)` — fluid crosses it moving
+    /// north/south.
+    Vertical,
+}
+
+/// An internal edge of the lattice: the site between two orthogonally
+/// adjacent cells where a valve may be built.
+///
+/// `cell` is the north-west endpoint: for [`Axis::Horizontal`] the edge
+/// connects `cell` with the cell to its east, for [`Axis::Vertical`] with
+/// the cell to its south.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId {
+    /// North-west endpoint of the edge.
+    pub cell: CellId,
+    /// Direction of the second endpoint relative to `cell`.
+    pub axis: Axis,
+}
+
+impl EdgeId {
+    /// Horizontal edge between `(row, col)` and `(row, col + 1)`.
+    pub const fn horizontal(row: usize, col: usize) -> Self {
+        EdgeId { cell: CellId::new(row, col), axis: Axis::Horizontal }
+    }
+
+    /// Vertical edge between `(row, col)` and `(row + 1, col)`.
+    pub const fn vertical(row: usize, col: usize) -> Self {
+        EdgeId { cell: CellId::new(row, col), axis: Axis::Vertical }
+    }
+
+    /// The two cells joined by this edge.
+    ///
+    /// ```
+    /// use fpva_grid::{CellId, EdgeId};
+    /// let e = EdgeId::horizontal(1, 2);
+    /// assert_eq!(e.endpoints(), (CellId::new(1, 2), CellId::new(1, 3)));
+    /// ```
+    pub fn endpoints(self) -> (CellId, CellId) {
+        let a = self.cell;
+        let b = match self.axis {
+            Axis::Horizontal => CellId::new(a.row, a.col + 1),
+            Axis::Vertical => CellId::new(a.row + 1, a.col),
+        };
+        (a, b)
+    }
+
+    /// Given one endpoint, returns the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not an endpoint of the edge.
+    pub fn other_endpoint(self, from: CellId) -> CellId {
+        let (a, b) = self.endpoints();
+        if from == a {
+            b
+        } else if from == b {
+            a
+        } else {
+            panic!("cell {from} is not an endpoint of edge {self:?}");
+        }
+    }
+
+    /// Whether `cell` is one of the two endpoints.
+    pub fn touches(self, cell: CellId) -> bool {
+        let (a, b) = self.endpoints();
+        a == cell || b == cell
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (a, b) = self.endpoints();
+        write!(f, "{a}-{b}")
+    }
+}
+
+/// Dense edge indexing shared by [`crate::Fpva`] internals.
+///
+/// Horizontal edges come first (`rows * (cols - 1)` of them, row-major),
+/// vertical edges after (`(rows - 1) * cols`, row-major).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct EdgeIndexer {
+    pub rows: usize,
+    pub cols: usize,
+}
+
+impl EdgeIndexer {
+    pub fn horizontal_count(self) -> usize {
+        self.rows * self.cols.saturating_sub(1)
+    }
+
+    pub fn vertical_count(self) -> usize {
+        self.rows.saturating_sub(1) * self.cols
+    }
+
+    pub fn count(self) -> usize {
+        self.horizontal_count() + self.vertical_count()
+    }
+
+    pub fn index(self, e: EdgeId) -> usize {
+        match e.axis {
+            Axis::Horizontal => {
+                debug_assert!(e.cell.row < self.rows && e.cell.col + 1 < self.cols);
+                e.cell.row * (self.cols - 1) + e.cell.col
+            }
+            Axis::Vertical => {
+                debug_assert!(e.cell.row + 1 < self.rows && e.cell.col < self.cols);
+                self.horizontal_count() + e.cell.row * self.cols + e.cell.col
+            }
+        }
+    }
+
+    pub fn edge(self, index: usize) -> EdgeId {
+        let h = self.horizontal_count();
+        if index < h {
+            EdgeId::horizontal(index / (self.cols - 1), index % (self.cols - 1))
+        } else {
+            let i = index - h;
+            EdgeId::vertical(i / self.cols, i % self.cols)
+        }
+    }
+
+    #[allow(dead_code)] // handy for tests and future callers
+    pub fn iter(self) -> impl Iterator<Item = EdgeId> {
+        (0..self.count()).map(move |i| self.edge(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbor_respects_bounds() {
+        let c = CellId::new(0, 0);
+        assert_eq!(c.neighbor(Side::North, 3, 3), None);
+        assert_eq!(c.neighbor(Side::West, 3, 3), None);
+        assert_eq!(c.neighbor(Side::South, 3, 3), Some(CellId::new(1, 0)));
+        assert_eq!(c.neighbor(Side::East, 3, 3), Some(CellId::new(0, 1)));
+        let d = CellId::new(2, 2);
+        assert_eq!(d.neighbor(Side::South, 3, 3), None);
+        assert_eq!(d.neighbor(Side::East, 3, 3), None);
+    }
+
+    #[test]
+    fn boundary_detection() {
+        assert!(CellId::new(0, 1).is_boundary(3, 3));
+        assert!(CellId::new(2, 1).is_boundary(3, 3));
+        assert!(CellId::new(1, 0).is_boundary(3, 3));
+        assert!(!CellId::new(1, 1).is_boundary(3, 3));
+    }
+
+    #[test]
+    fn endpoints_and_other() {
+        let e = EdgeId::vertical(1, 1);
+        let (a, b) = e.endpoints();
+        assert_eq!(a, CellId::new(1, 1));
+        assert_eq!(b, CellId::new(2, 1));
+        assert_eq!(e.other_endpoint(a), b);
+        assert_eq!(e.other_endpoint(b), a);
+        assert!(e.touches(a) && e.touches(b));
+        assert!(!e.touches(CellId::new(0, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_endpoint_panics_for_stranger() {
+        EdgeId::horizontal(0, 0).other_endpoint(CellId::new(5, 5));
+    }
+
+    #[test]
+    fn edge_indexer_roundtrip() {
+        let ix = EdgeIndexer { rows: 4, cols: 5 };
+        assert_eq!(ix.horizontal_count(), 4 * 4);
+        assert_eq!(ix.vertical_count(), 3 * 5);
+        assert_eq!(ix.count(), 31);
+        for i in 0..ix.count() {
+            let e = ix.edge(i);
+            assert_eq!(ix.index(e), i, "roundtrip failed for {e:?}");
+        }
+    }
+
+    #[test]
+    fn edge_indexer_degenerate_sizes() {
+        let ix = EdgeIndexer { rows: 1, cols: 1 };
+        assert_eq!(ix.count(), 0);
+        let row = EdgeIndexer { rows: 1, cols: 4 };
+        assert_eq!(row.count(), 3);
+        let col = EdgeIndexer { rows: 4, cols: 1 };
+        assert_eq!(col.count(), 3);
+    }
+
+    #[test]
+    fn sides_opposite_involution() {
+        for s in Side::ALL {
+            assert_eq!(s.opposite().opposite(), s);
+            assert_ne!(s.opposite(), s);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CellId::new(1, 2).to_string(), "(1,2)");
+        assert_eq!(EdgeId::horizontal(0, 0).to_string(), "(0,0)-(0,1)");
+        assert_eq!(Side::North.to_string(), "north");
+    }
+}

@@ -1,0 +1,195 @@
+//! ASCII rendering of arrays, used to regenerate the paper's Fig. 8/9.
+//!
+//! The chip is drawn on a `(2·rows + 1) × (2·cols + 1)` character canvas:
+//! cells sit at odd/odd coordinates, valve sites between them, and the chip
+//! boundary is a frame with `S` (source) and `M` (pressure-meter) openings.
+//!
+//! ```
+//! use fpva_grid::{layouts, render::render};
+//! let art = render(&layouts::table1_5x5());
+//! assert!(art.contains('S') && art.contains('M'));
+//! ```
+
+use crate::array::{CellKind, EdgeKind, Fpva, PortKind};
+use crate::geometry::{Axis, CellId, EdgeId, Side};
+use std::collections::HashMap;
+
+/// Overlay marks for cells and edges (e.g. path indices, cut membership).
+#[derive(Debug, Clone, Default)]
+pub struct Decor {
+    cell_marks: HashMap<CellId, char>,
+    edge_marks: HashMap<EdgeId, char>,
+}
+
+impl Decor {
+    /// An empty overlay.
+    pub fn new() -> Self {
+        Decor::default()
+    }
+
+    /// Marks a cell with `ch` (overrides the structural character).
+    pub fn mark_cell(&mut self, cell: CellId, ch: char) -> &mut Self {
+        self.cell_marks.insert(cell, ch);
+        self
+    }
+
+    /// Marks an edge with `ch` (overrides the structural character).
+    pub fn mark_edge(&mut self, edge: EdgeId, ch: char) -> &mut Self {
+        self.edge_marks.insert(edge, ch);
+        self
+    }
+
+    /// The mark on a cell, if any.
+    pub fn cell_mark(&self, cell: CellId) -> Option<char> {
+        self.cell_marks.get(&cell).copied()
+    }
+
+    /// The mark on an edge, if any.
+    pub fn edge_mark(&self, edge: EdgeId) -> Option<char> {
+        self.edge_marks.get(&edge).copied()
+    }
+}
+
+fn structural_cell_char(kind: CellKind) -> char {
+    match kind {
+        CellKind::Normal => ' ',
+        CellKind::Channel => '~',
+        CellKind::Obstacle => '#',
+    }
+}
+
+fn structural_edge_char(kind: EdgeKind, axis: Axis) -> char {
+    match (kind, axis) {
+        (EdgeKind::Valve, Axis::Horizontal) => '|',
+        (EdgeKind::Valve, Axis::Vertical) => '-',
+        (EdgeKind::Open, _) => '~',
+        (EdgeKind::Wall, _) => '#',
+    }
+}
+
+/// Renders the bare structure of the array.
+pub fn render(fpva: &Fpva) -> String {
+    render_with(fpva, &Decor::new())
+}
+
+/// Renders the array with an overlay of cell/edge marks.
+pub fn render_with(fpva: &Fpva, decor: &Decor) -> String {
+    let (rows, cols) = (fpva.rows(), fpva.cols());
+    let height = 2 * rows + 1;
+    let width = 2 * cols + 1;
+    let mut canvas = vec![vec![' '; width]; height];
+
+    // Frame.
+    for (x, row) in canvas.iter_mut().enumerate() {
+        for (y, ch) in row.iter_mut().enumerate() {
+            let on_h = x == 0 || x == height - 1;
+            let on_v = y == 0 || y == width - 1;
+            if on_h && on_v {
+                *ch = '+';
+            } else if on_h {
+                *ch = '-';
+            } else if on_v {
+                *ch = '|';
+            }
+        }
+    }
+    // Lattice crossings.
+    for x in (2..height - 1).step_by(2) {
+        for y in (2..width - 1).step_by(2) {
+            canvas[x][y] = '+';
+        }
+    }
+    // Cells.
+    for cell in fpva.cells() {
+        let ch = decor
+            .cell_mark(cell)
+            .unwrap_or_else(|| structural_cell_char(fpva.cell_kind(cell)));
+        canvas[2 * cell.row + 1][2 * cell.col + 1] = ch;
+    }
+    // Internal edges.
+    for (edge, kind) in fpva.edges() {
+        let ch = decor.edge_mark(edge).unwrap_or_else(|| structural_edge_char(kind, edge.axis));
+        let (x, y) = match edge.axis {
+            Axis::Horizontal => (2 * edge.cell.row + 1, 2 * edge.cell.col + 2),
+            Axis::Vertical => (2 * edge.cell.row + 2, 2 * edge.cell.col + 1),
+        };
+        canvas[x][y] = ch;
+    }
+    // Port openings in the frame.
+    for (_, port) in fpva.ports() {
+        let (x, y) = match port.side {
+            Side::North => (0, 2 * port.cell.col + 1),
+            Side::South => (height - 1, 2 * port.cell.col + 1),
+            Side::West => (2 * port.cell.row + 1, 0),
+            Side::East => (2 * port.cell.row + 1, width - 1),
+        };
+        canvas[x][y] = match port.kind {
+            PortKind::Source => 'S',
+            PortKind::Sink => 'M',
+        };
+    }
+
+    let mut out = String::with_capacity(height * (width + 1));
+    for row in canvas {
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FpvaBuilder;
+    use crate::layouts;
+
+    #[test]
+    fn small_full_render() {
+        let f = layouts::full_array(2, 2);
+        let art = render(&f);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[0], "+---+");
+        assert_eq!(lines[1], "S | |"); // source opening, cell, valve, cell, frame
+        assert_eq!(lines[2], "|-+-|");
+        assert_eq!(lines[3], "| | M");
+        assert_eq!(lines[4], "+---+");
+    }
+
+    #[test]
+    fn channels_and_obstacles_visible() {
+        let f = FpvaBuilder::new(4, 4)
+            .channel_horizontal(1, 0, 2)
+            .obstacle(3, 3, 3, 3)
+            .port(0, 0, crate::Side::North, crate::PortKind::Source)
+            .port(3, 0, crate::Side::South, crate::PortKind::Sink)
+            .build()
+            .unwrap();
+        let art = render(&f);
+        assert!(art.contains('~'), "channel glyph missing:\n{art}");
+        assert!(art.contains('#'), "obstacle glyph missing:\n{art}");
+        assert!(art.contains('S') && art.contains('M'));
+    }
+
+    #[test]
+    fn decor_overrides_structure() {
+        let f = layouts::full_array(2, 2);
+        let mut d = Decor::new();
+        d.mark_cell(CellId::new(0, 0), '1');
+        d.mark_edge(EdgeId::horizontal(0, 0), '1');
+        let art = render_with(&f, &d);
+        assert!(art.lines().nth(1).unwrap().starts_with("S11"), "overlay missing:\n{art}");
+        assert_eq!(d.cell_mark(CellId::new(0, 0)), Some('1'));
+        assert_eq!(d.edge_mark(EdgeId::horizontal(0, 0)), Some('1'));
+        assert_eq!(d.cell_mark(CellId::new(1, 1)), None);
+    }
+
+    #[test]
+    fn canvas_dimensions() {
+        let f = layouts::table1_5x5();
+        let art = render(&f);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 11);
+        assert!(lines.iter().all(|l| l.chars().count() == 11));
+    }
+}

@@ -1,0 +1,263 @@
+//! Test vectors: one open/closed state for every valve of the array.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense identifier of a real (testable) valve.
+///
+/// Valve ids are assigned by [`crate::Fpva`] in edge-index order and are
+/// contiguous in `0..valve_count()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ValveId(pub usize);
+
+impl ValveId {
+    /// The dense index of the valve.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ValveId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Commanded state of a single valve.
+///
+/// *Open* means the control channel is vented and fluid may pass; *closed*
+/// means the control channel is pressurised and the flow channel is squeezed
+/// shut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValveState {
+    /// Fluid may pass through the valve.
+    Open,
+    /// The valve blocks its flow channel.
+    Closed,
+}
+
+impl ValveState {
+    /// `true` for [`ValveState::Open`].
+    pub fn is_open(self) -> bool {
+        matches!(self, ValveState::Open)
+    }
+
+    /// The other state.
+    pub fn toggled(self) -> ValveState {
+        match self {
+            ValveState::Open => ValveState::Closed,
+            ValveState::Closed => ValveState::Open,
+        }
+    }
+}
+
+/// One test vector: the commanded state of every valve while pressure is
+/// applied at the source ports and read at the sink ports.
+///
+/// Backed by a bit set (bit = 1 ⇔ open), so cloning and hashing stay cheap
+/// even for the 1704-valve array of Table I.
+///
+/// ```
+/// use fpva_grid::{TestVector, ValveId, ValveState};
+/// let mut v = TestVector::all_closed(100);
+/// v.set(ValveId(7), ValveState::Open);
+/// assert!(v.is_open(ValveId(7)));
+/// assert_eq!(v.open_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TestVector {
+    len: usize,
+    bits: Vec<u64>,
+}
+
+impl TestVector {
+    /// A vector commanding every one of `valve_count` valves closed.
+    pub fn all_closed(valve_count: usize) -> Self {
+        TestVector { len: valve_count, bits: vec![0; valve_count.div_ceil(64)] }
+    }
+
+    /// A vector commanding every one of `valve_count` valves open.
+    pub fn all_open(valve_count: usize) -> Self {
+        let mut v = TestVector { len: valve_count, bits: vec![!0u64; valve_count.div_ceil(64)] };
+        v.clear_tail();
+        v
+    }
+
+    /// Builds a vector from the set of open valves.
+    pub fn from_open_valves<I>(valve_count: usize, open: I) -> Self
+    where
+        I: IntoIterator<Item = ValveId>,
+    {
+        let mut v = TestVector::all_closed(valve_count);
+        for id in open {
+            v.set(id, ValveState::Open);
+        }
+        v
+    }
+
+    /// Number of valves covered by this vector.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the vector covers zero valves.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Commanded state of valve `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn state(&self, id: ValveId) -> ValveState {
+        assert!(id.0 < self.len, "valve {id} out of range (len {})", self.len);
+        if self.bits[id.0 / 64] >> (id.0 % 64) & 1 == 1 {
+            ValveState::Open
+        } else {
+            ValveState::Closed
+        }
+    }
+
+    /// `true` when valve `id` is commanded open.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn is_open(&self, id: ValveId) -> bool {
+        self.state(id).is_open()
+    }
+
+    /// Sets the commanded state of valve `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set(&mut self, id: ValveId, state: ValveState) {
+        assert!(id.0 < self.len, "valve {id} out of range (len {})", self.len);
+        let mask = 1u64 << (id.0 % 64);
+        match state {
+            ValveState::Open => self.bits[id.0 / 64] |= mask,
+            ValveState::Closed => self.bits[id.0 / 64] &= !mask,
+        }
+    }
+
+    /// Flips the commanded state of valve `id` and returns the new state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn toggle(&mut self, id: ValveId) -> ValveState {
+        let next = self.state(id).toggled();
+        self.set(id, next);
+        next
+    }
+
+    /// Number of valves commanded open.
+    pub fn open_count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the ids of all valves commanded open, ascending.
+    pub fn iter_open(&self) -> impl Iterator<Item = ValveId> + '_ {
+        self.bits.iter().enumerate().flat_map(|(w, &word)| {
+            let mut word = word;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    return None;
+                }
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                Some(ValveId(w * 64 + bit))
+            })
+        })
+    }
+
+    fn clear_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.bits.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_closed_and_open() {
+        let c = TestVector::all_closed(70);
+        assert_eq!(c.open_count(), 0);
+        assert_eq!(c.len(), 70);
+        let o = TestVector::all_open(70);
+        assert_eq!(o.open_count(), 70);
+        for i in 0..70 {
+            assert!(!c.is_open(ValveId(i)));
+            assert!(o.is_open(ValveId(i)));
+        }
+    }
+
+    #[test]
+    fn set_and_toggle() {
+        let mut v = TestVector::all_closed(65);
+        v.set(ValveId(64), ValveState::Open);
+        assert!(v.is_open(ValveId(64)));
+        assert_eq!(v.toggle(ValveId(64)), ValveState::Closed);
+        assert!(!v.is_open(ValveId(64)));
+        assert_eq!(v.toggle(ValveId(0)), ValveState::Open);
+        assert_eq!(v.open_count(), 1);
+    }
+
+    #[test]
+    fn iter_open_ascending() {
+        let v = TestVector::from_open_valves(200, [ValveId(3), ValveId(64), ValveId(199)]);
+        let open: Vec<usize> = v.iter_open().map(ValveId::index).collect();
+        assert_eq!(open, vec![3, 64, 199]);
+    }
+
+    #[test]
+    fn all_open_does_not_overflow_len() {
+        let v = TestVector::all_open(3);
+        assert_eq!(v.open_count(), 3);
+        let ids: Vec<usize> = v.iter_open().map(ValveId::index).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_vector() {
+        let v = TestVector::all_closed(0);
+        assert!(v.is_empty());
+        assert_eq!(v.iter_open().count(), 0);
+        let o = TestVector::all_open(0);
+        assert_eq!(o.open_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        TestVector::all_closed(10).is_open(ValveId(10));
+    }
+
+    #[test]
+    fn equality_and_hash_agree() {
+        use std::collections::HashSet;
+        let a = TestVector::from_open_valves(128, [ValveId(1), ValveId(127)]);
+        let mut b = TestVector::all_closed(128);
+        b.set(ValveId(127), ValveState::Open);
+        b.set(ValveId(1), ValveState::Open);
+        assert_eq!(a, b);
+        let set: HashSet<TestVector> = [a.clone(), b].into_iter().collect();
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(&a));
+    }
+
+    #[test]
+    fn toggled_state() {
+        assert_eq!(ValveState::Open.toggled(), ValveState::Closed);
+        assert!(ValveState::Open.is_open());
+        assert!(!ValveState::Closed.is_open());
+    }
+}

@@ -1,0 +1,26 @@
+//! Error type of the solver.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by [`crate::MilpSolver::solve`].
+///
+/// Infeasibility and unboundedness are *not* errors — they are reported in
+/// [`crate::MilpOutcome::status`], because they are legitimate answers about
+/// a well-formed model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IlpError {
+    /// The model is malformed (non-finite coefficients, foreign variables).
+    BadModel(String),
+}
+
+impl fmt::Display for IlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IlpError::BadModel(what) => write!(f, "malformed model: {what}"),
+        }
+    }
+}
+
+impl Error for IlpError {}

@@ -1,0 +1,325 @@
+//! Linear expressions over model variables.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// Identifier of a variable inside one [`crate::Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Dense index of the variable inside its model.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A linear expression `Σ coeff·var + constant`.
+///
+/// Built with ordinary operators:
+///
+/// ```
+/// use fpva_ilp::{Model, Sense};
+/// let mut m = Model::new(Sense::Minimize);
+/// let x = m.binary_var("x");
+/// let y = m.binary_var("y");
+/// let e = 2.0 * x - y + 1.0;
+/// assert_eq!(e.coeff(x), 2.0);
+/// assert_eq!(e.coeff(y), -1.0);
+/// assert_eq!(e.constant(), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinExpr {
+    terms: BTreeMap<VarId, f64>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn new() -> Self {
+        LinExpr::default()
+    }
+
+    /// An expression consisting of a constant only.
+    pub fn constant_expr(c: f64) -> Self {
+        LinExpr { terms: BTreeMap::new(), constant: c }
+    }
+
+    /// Adds `coeff · var` to the expression.
+    pub fn add_term(&mut self, var: VarId, coeff: f64) -> &mut Self {
+        let entry = self.terms.entry(var).or_insert(0.0);
+        *entry += coeff;
+        if *entry == 0.0 {
+            self.terms.remove(&var);
+        }
+        self
+    }
+
+    /// Adds a constant.
+    pub fn add_constant(&mut self, c: f64) -> &mut Self {
+        self.constant += c;
+        self
+    }
+
+    /// The coefficient of `var` (0 when absent).
+    pub fn coeff(&self, var: VarId) -> f64 {
+        self.terms.get(&var).copied().unwrap_or(0.0)
+    }
+
+    /// The constant part.
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// Iterates over `(var, coeff)` pairs with non-zero coefficients.
+    pub fn terms(&self) -> impl Iterator<Item = (VarId, f64)> + '_ {
+        self.terms.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Number of variables with non-zero coefficient.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether all coefficients and the constant are finite.
+    pub fn is_finite(&self) -> bool {
+        self.constant.is_finite() && self.terms.values().all(|c| c.is_finite())
+    }
+
+    /// Evaluates the expression under an assignment `values[var.index()]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index exceeds `values.len()`.
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.constant + self.terms.iter().map(|(v, c)| c * values[v.0]).sum::<f64>()
+    }
+}
+
+impl From<VarId> for LinExpr {
+    fn from(v: VarId) -> Self {
+        let mut e = LinExpr::new();
+        e.add_term(v, 1.0);
+        e
+    }
+}
+
+impl From<f64> for LinExpr {
+    fn from(c: f64) -> Self {
+        LinExpr::constant_expr(c)
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        for (v, c) in rhs.terms {
+            self.add_term(v, c);
+        }
+        self.constant += rhs.constant;
+        self
+    }
+}
+
+impl AddAssign for LinExpr {
+    fn add_assign(&mut self, rhs: LinExpr) {
+        for (v, c) in rhs.terms {
+            self.add_term(v, c);
+        }
+        self.constant += rhs.constant;
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        self + (-rhs)
+    }
+}
+
+impl SubAssign for LinExpr {
+    fn sub_assign(&mut self, rhs: LinExpr) {
+        *self += -rhs;
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(mut self) -> LinExpr {
+        for c in self.terms.values_mut() {
+            *c = -*c;
+        }
+        self.constant = -self.constant;
+        self
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, k: f64) -> LinExpr {
+        if k == 0.0 {
+            return LinExpr::new();
+        }
+        for c in self.terms.values_mut() {
+            *c *= k;
+        }
+        self.constant *= k;
+        self
+    }
+}
+
+impl Mul<LinExpr> for f64 {
+    type Output = LinExpr;
+    fn mul(self, e: LinExpr) -> LinExpr {
+        e * self
+    }
+}
+
+// Convenience operators mixing `VarId` and `f64` into expressions.
+
+impl Add<VarId> for VarId {
+    type Output = LinExpr;
+    fn add(self, rhs: VarId) -> LinExpr {
+        LinExpr::from(self) + LinExpr::from(rhs)
+    }
+}
+
+impl Add<VarId> for LinExpr {
+    type Output = LinExpr;
+    fn add(self, rhs: VarId) -> LinExpr {
+        self + LinExpr::from(rhs)
+    }
+}
+
+impl Add<LinExpr> for VarId {
+    type Output = LinExpr;
+    fn add(self, rhs: LinExpr) -> LinExpr {
+        LinExpr::from(self) + rhs
+    }
+}
+
+impl Add<f64> for LinExpr {
+    type Output = LinExpr;
+    fn add(self, rhs: f64) -> LinExpr {
+        self + LinExpr::constant_expr(rhs)
+    }
+}
+
+impl Add<LinExpr> for f64 {
+    type Output = LinExpr;
+    fn add(self, rhs: LinExpr) -> LinExpr {
+        rhs + self
+    }
+}
+
+impl Sub<VarId> for VarId {
+    type Output = LinExpr;
+    fn sub(self, rhs: VarId) -> LinExpr {
+        LinExpr::from(self) - LinExpr::from(rhs)
+    }
+}
+
+impl Sub<VarId> for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: VarId) -> LinExpr {
+        self - LinExpr::from(rhs)
+    }
+}
+
+impl Sub<LinExpr> for VarId {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        LinExpr::from(self) - rhs
+    }
+}
+
+impl Sub<f64> for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: f64) -> LinExpr {
+        self + LinExpr::constant_expr(-rhs)
+    }
+}
+
+impl Mul<VarId> for f64 {
+    type Output = LinExpr;
+    fn mul(self, v: VarId) -> LinExpr {
+        LinExpr::from(v) * self
+    }
+}
+
+impl Neg for VarId {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        -LinExpr::from(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn build_and_eval() {
+        let e = 2.0 * v(0) + v(1) - 0.5 * v(2) + 3.0;
+        assert_eq!(e.coeff(v(0)), 2.0);
+        assert_eq!(e.coeff(v(1)), 1.0);
+        assert_eq!(e.coeff(v(2)), -0.5);
+        assert_eq!(e.coeff(v(9)), 0.0);
+        assert_eq!(e.constant(), 3.0);
+        assert_eq!(e.eval(&[1.0, 2.0, 4.0]), 2.0 + 2.0 - 2.0 + 3.0);
+    }
+
+    #[test]
+    fn cancellation_removes_terms() {
+        let e = v(0) + v(1) - v(0);
+        assert_eq!(e.term_count(), 1);
+        assert_eq!(e.coeff(v(0)), 0.0);
+    }
+
+    #[test]
+    fn neg_and_sub() {
+        let e = -(v(0) + 2.0 * v(1) + 1.0);
+        assert_eq!(e.coeff(v(0)), -1.0);
+        assert_eq!(e.coeff(v(1)), -2.0);
+        assert_eq!(e.constant(), -1.0);
+        let d = LinExpr::from(v(0)) - 1.0;
+        assert_eq!(d.constant(), -1.0);
+    }
+
+    #[test]
+    fn mul_by_zero_clears() {
+        let e = (v(0) + v(1) + 5.0) * 0.0;
+        assert_eq!(e.term_count(), 0);
+        assert_eq!(e.constant(), 0.0);
+    }
+
+    #[test]
+    fn finite_check() {
+        let mut e = LinExpr::from(v(0));
+        assert!(e.is_finite());
+        e.add_term(v(1), f64::NAN);
+        assert!(!e.is_finite());
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut e = LinExpr::new();
+        e += LinExpr::from(v(0));
+        e += 2.0 * v(0) + 1.0;
+        assert_eq!(e.coeff(v(0)), 3.0);
+        assert_eq!(e.constant(), 1.0);
+        e -= LinExpr::from(v(0)) * 3.0;
+        assert_eq!(e.term_count(), 0);
+    }
+}

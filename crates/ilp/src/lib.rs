@@ -1,0 +1,55 @@
+//! A self-contained mixed-integer linear programming (MILP) solver.
+//!
+//! The FPVA test-generation paper (Liu et al., DATE 2017) formulates flow
+//! path and cut-set construction as ILPs (constraints (1)–(9)) and solves
+//! them with a commercial solver. No ILP solver is available as an offline
+//! dependency, so this crate implements one from scratch:
+//!
+//! * a modelling API ([`Model`], [`LinExpr`], [`VarId`]) for continuous,
+//!   general-integer and binary variables with bounds,
+//! * a dense **two-phase primal simplex** for the LP relaxations
+//!   ([`simplex`]), with Bland's anti-cycling rule,
+//! * a **branch-and-bound** driver ([`MilpSolver`]) with depth-first
+//!   search, most-fractional branching, integral-objective ceiling bounds,
+//!   warm-start incumbents, node/time limits.
+//!
+//! It is sized for the instances the paper's *hierarchical* flow produces
+//! (5×5 subblocks, a few hundred variables); it is not a general-purpose
+//! replacement for a commercial solver on huge direct formulations — that
+//! trade-off is exactly why the paper proposes the hierarchical model.
+//!
+//! # Example: a tiny knapsack
+//!
+//! ```
+//! use fpva_ilp::{Model, MilpSolver, Sense};
+//!
+//! # fn main() -> Result<(), fpva_ilp::IlpError> {
+//! let mut m = Model::new(Sense::Maximize);
+//! let x = m.binary_var("x");
+//! let y = m.binary_var("y");
+//! let z = m.binary_var("z");
+//! // weights 3, 4, 5; capacity 7; values 4, 5, 6
+//! m.add_leq(3.0 * x + 4.0 * y + 5.0 * z, 7.0);
+//! m.set_objective(4.0 * x + 5.0 * y + 6.0 * z);
+//! let outcome = MilpSolver::new().solve(&m)?;
+//! let best = outcome.best.expect("feasible");
+//! assert_eq!(best.objective.round() as i64, 9); // x + y
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch_bound;
+mod error;
+mod expr;
+mod model;
+pub mod simplex;
+mod solution;
+
+pub use branch_bound::{MilpOptions, MilpSolver};
+pub use error::IlpError;
+pub use expr::{LinExpr, VarId};
+pub use model::{ConstraintOp, Model, Sense, VarKind};
+pub use solution::{MilpOutcome, SolveStats, SolveStatus, Solution};

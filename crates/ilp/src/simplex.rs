@@ -1,0 +1,524 @@
+//! Dense two-phase primal simplex for the LP relaxations.
+//!
+//! The solver works on [`LpProblem`]: minimise `c·x` subject to linear
+//! rows and per-variable bounds with **finite lower bounds** (upper bounds
+//! may be infinite). Internally variables are shifted to `x' = x − l ≥ 0`,
+//! finite upper bounds become extra rows, and a standard two-phase tableau
+//! simplex runs with Dantzig pricing and Bland's rule as the anti-cycling
+//! fallback.
+//!
+//! This module is public so the branch-and-bound driver and the test suite
+//! can exercise it directly; library users normally go through
+//! [`crate::MilpSolver`].
+
+use crate::model::ConstraintOp;
+
+/// Numerical tolerance for pivot selection and feasibility tests.
+pub const EPS: f64 = 1e-9;
+/// Tolerance used when comparing phase-1 objective against zero.
+const FEAS_TOL: f64 = 1e-7;
+
+/// One linear constraint row in sparse form.
+#[derive(Debug, Clone)]
+pub struct LpRow {
+    /// `(variable index, coefficient)` pairs; indices must be unique.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Relational operator.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// An LP in "minimise subject to rows and bounds" form.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    /// Objective coefficients, one per variable (minimisation).
+    pub objective: Vec<f64>,
+    /// Constraint rows.
+    pub rows: Vec<LpRow>,
+    /// Finite lower bound per variable.
+    pub lower: Vec<f64>,
+    /// Upper bound per variable; `f64::INFINITY` allowed.
+    pub upper: Vec<f64>,
+}
+
+/// How an LP solve ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LpStatus {
+    /// Optimum found.
+    Optimal,
+    /// No feasible point.
+    Infeasible,
+    /// Objective unbounded below.
+    Unbounded,
+    /// Pivot limit exhausted (treat as a solver failure).
+    IterationLimit,
+}
+
+/// Result of [`solve`].
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Termination status.
+    pub status: LpStatus,
+    /// Primal point (meaningful only when status is [`LpStatus::Optimal`]).
+    pub x: Vec<f64>,
+    /// Objective value `c·x`.
+    pub objective: f64,
+    /// Simplex pivots performed.
+    pub iterations: usize,
+}
+
+struct Tableau {
+    /// (m + 1) rows × (ncols + 1) columns, flat row-major; last column is
+    /// the RHS, last row the reduced-cost row.
+    data: Vec<f64>,
+    m: usize,
+    ncols: usize,
+    basis: Vec<usize>,
+    iterations: usize,
+}
+
+impl Tableau {
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * (self.ncols + 1) + c]
+    }
+
+    fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * (self.ncols + 1) + c] = v;
+    }
+
+    fn pivot(&mut self, pr: usize, pc: usize) {
+        let w = self.ncols + 1;
+        let pivot = self.at(pr, pc);
+        debug_assert!(pivot.abs() > EPS, "pivot too small: {pivot}");
+        let inv = 1.0 / pivot;
+        for c in 0..w {
+            self.data[pr * w + c] *= inv;
+        }
+        self.set(pr, pc, 1.0);
+        for r in 0..=self.m {
+            if r == pr {
+                continue;
+            }
+            let factor = self.at(r, pc);
+            if factor.abs() <= EPS {
+                self.set(r, pc, 0.0);
+                continue;
+            }
+            for c in 0..w {
+                let v = self.data[r * w + c] - factor * self.data[pr * w + c];
+                self.data[r * w + c] = v;
+            }
+            self.set(r, pc, 0.0);
+        }
+        self.basis[pr] = pc;
+        self.iterations += 1;
+    }
+
+    /// Runs the pivot loop; `allowed` filters columns that may enter.
+    fn optimize(&mut self, allowed: impl Fn(usize) -> bool, max_iters: usize) -> LpStatus {
+        let bland_after = 200 + 20 * self.m;
+        let mut local_iters = 0usize;
+        loop {
+            if local_iters > max_iters {
+                return LpStatus::IterationLimit;
+            }
+            let use_bland = local_iters > bland_after;
+            // Entering column.
+            let zrow = self.m;
+            let mut entering: Option<usize> = None;
+            let mut best = -EPS;
+            for c in 0..self.ncols {
+                if !allowed(c) {
+                    continue;
+                }
+                let rc = self.at(zrow, c);
+                if use_bland {
+                    if rc < -EPS {
+                        entering = Some(c);
+                        break;
+                    }
+                } else if rc < best {
+                    best = rc;
+                    entering = Some(c);
+                }
+            }
+            let Some(pc) = entering else {
+                return LpStatus::Optimal;
+            };
+            // Ratio test.
+            let mut leaving: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.m {
+                let a = self.at(r, pc);
+                if a > EPS {
+                    let ratio = self.at(r, self.ncols) / a;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leaving.is_some_and(|lr| self.basis[r] < self.basis[lr]));
+                    if better {
+                        best_ratio = ratio;
+                        leaving = Some(r);
+                    }
+                }
+            }
+            let Some(pr) = leaving else {
+                return LpStatus::Unbounded;
+            };
+            self.pivot(pr, pc);
+            local_iters += 1;
+        }
+    }
+}
+
+/// Solves the LP with a two-phase dense primal simplex.
+///
+/// # Panics
+///
+/// Panics if the problem arrays have inconsistent lengths, a lower bound is
+/// not finite, or a coefficient is NaN (callers are expected to validate
+/// with [`crate::Model::validate`] first).
+pub fn solve(p: &LpProblem) -> LpSolution {
+    let n = p.objective.len();
+    assert_eq!(p.lower.len(), n, "lower bound count mismatch");
+    assert_eq!(p.upper.len(), n, "upper bound count mismatch");
+    assert!(p.lower.iter().all(|l| l.is_finite()), "lower bounds must be finite");
+
+    // Shift variables: x = x' + l, x' >= 0. Collect all rows, including
+    // upper-bound rows, as (coeffs, op, rhs) over x'.
+    struct Row {
+        coeffs: Vec<(usize, f64)>,
+        op: ConstraintOp,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(p.rows.len() + n);
+    for row in &p.rows {
+        let shift: f64 = row.coeffs.iter().map(|&(j, a)| a * p.lower[j]).sum();
+        rows.push(Row { coeffs: row.coeffs.clone(), op: row.op, rhs: row.rhs - shift });
+    }
+    for j in 0..n {
+        if p.upper[j].is_finite() {
+            let span = p.upper[j] - p.lower[j];
+            rows.push(Row { coeffs: vec![(j, 1.0)], op: ConstraintOp::Leq, rhs: span });
+        }
+    }
+
+    // Normalise RHS to be non-negative.
+    for row in &mut rows {
+        if row.rhs < 0.0 {
+            row.rhs = -row.rhs;
+            for (_, a) in &mut row.coeffs {
+                *a = -*a;
+            }
+            row.op = match row.op {
+                ConstraintOp::Leq => ConstraintOp::Geq,
+                ConstraintOp::Geq => ConstraintOp::Leq,
+                ConstraintOp::Eq => ConstraintOp::Eq,
+            };
+        }
+    }
+
+    let m = rows.len();
+    // Column layout: structural (n) | slack/surplus (one per Leq/Geq row) |
+    // artificial (one per Geq/Eq row).
+    let mut n_slack = 0usize;
+    let mut n_art = 0usize;
+    for row in &rows {
+        match row.op {
+            ConstraintOp::Leq => n_slack += 1,
+            ConstraintOp::Geq => {
+                n_slack += 1;
+                n_art += 1;
+            }
+            ConstraintOp::Eq => n_art += 1,
+        }
+    }
+    let ncols = n + n_slack + n_art;
+    let w = ncols + 1;
+    let mut t = Tableau {
+        data: vec![0.0; (m + 1) * w],
+        m,
+        ncols,
+        basis: vec![usize::MAX; m],
+        iterations: 0,
+    };
+
+    let art_start = n + n_slack;
+    let mut slack_next = n;
+    let mut art_next = art_start;
+    for (r, row) in rows.iter().enumerate() {
+        for &(j, a) in &row.coeffs {
+            let cur = t.at(r, j);
+            t.set(r, j, cur + a);
+        }
+        t.set(r, ncols, row.rhs);
+        match row.op {
+            ConstraintOp::Leq => {
+                t.set(r, slack_next, 1.0);
+                t.basis[r] = slack_next;
+                slack_next += 1;
+            }
+            ConstraintOp::Geq => {
+                t.set(r, slack_next, -1.0);
+                slack_next += 1;
+                t.set(r, art_next, 1.0);
+                t.basis[r] = art_next;
+                art_next += 1;
+            }
+            ConstraintOp::Eq => {
+                t.set(r, art_next, 1.0);
+                t.basis[r] = art_next;
+                art_next += 1;
+            }
+        }
+    }
+
+    let max_iters = 2000 + 60 * (m + ncols);
+
+    // Phase 1: minimise the sum of artificials.
+    if n_art > 0 {
+        for c in art_start..ncols {
+            t.set(m, c, 1.0);
+        }
+        // Zero out reduced costs of the basic artificials.
+        for r in 0..m {
+            if t.basis[r] >= art_start {
+                let w2 = ncols + 1;
+                for c in 0..w2 {
+                    let v = t.data[m * w2 + c] - t.data[r * w2 + c];
+                    t.data[m * w2 + c] = v;
+                }
+            }
+        }
+        let status = t.optimize(|_| true, max_iters);
+        if status == LpStatus::IterationLimit {
+            return LpSolution {
+                status,
+                x: vec![0.0; n],
+                objective: f64::NAN,
+                iterations: t.iterations,
+            };
+        }
+        let phase1_obj = -t.at(m, ncols);
+        if phase1_obj > FEAS_TOL {
+            return LpSolution {
+                status: LpStatus::Infeasible,
+                x: vec![0.0; n],
+                objective: f64::NAN,
+                iterations: t.iterations,
+            };
+        }
+        // Pivot basic artificials out where possible.
+        for r in 0..m {
+            if t.basis[r] >= art_start {
+                if let Some(c) = (0..art_start).find(|&c| t.at(r, c).abs() > 1e-7) {
+                    t.pivot(r, c);
+                }
+                // If no pivot column exists the row is redundant; the
+                // artificial stays basic at value 0, which is harmless as
+                // long as artificial columns never re-enter (guaranteed by
+                // the `allowed` filter below).
+            }
+        }
+    }
+
+    // Phase 2: install the real objective row.
+    {
+        let w2 = ncols + 1;
+        for c in 0..w2 {
+            t.data[m * w2 + c] = 0.0;
+        }
+        for (j, &cost) in p.objective.iter().enumerate() {
+            t.set(m, j, cost);
+        }
+        for r in 0..m {
+            let b = t.basis[r];
+            if b < n {
+                let cost = p.objective[b];
+                if cost != 0.0 {
+                    for c in 0..w2 {
+                        let v = t.data[m * w2 + c] - cost * t.data[r * w2 + c];
+                        t.data[m * w2 + c] = v;
+                    }
+                }
+            }
+        }
+    }
+    let status = t.optimize(|c| c < art_start, max_iters);
+    if status != LpStatus::Optimal {
+        return LpSolution { status, x: vec![0.0; n], objective: f64::NAN, iterations: t.iterations };
+    }
+
+    // Extract the primal point.
+    let mut x = p.lower.clone();
+    for r in 0..m {
+        let b = t.basis[r];
+        if b < n {
+            x[b] = p.lower[b] + t.at(r, ncols);
+        }
+    }
+    let objective = p.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
+    LpSolution { status: LpStatus::Optimal, x, objective, iterations: t.iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(coeffs: &[(usize, f64)], op: ConstraintOp, rhs: f64) -> LpRow {
+        LpRow { coeffs: coeffs.to_vec(), op, rhs }
+    }
+
+    #[test]
+    fn textbook_two_var_max() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (min form: negate).
+        let p = LpProblem {
+            objective: vec![-3.0, -5.0],
+            rows: vec![
+                row(&[(0, 1.0)], ConstraintOp::Leq, 4.0),
+                row(&[(1, 2.0)], ConstraintOp::Leq, 12.0),
+                row(&[(0, 3.0), (1, 2.0)], ConstraintOp::Leq, 18.0),
+            ],
+            lower: vec![0.0, 0.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+        };
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - (-36.0)).abs() < 1e-6, "objective {}", s.objective);
+        assert!((s.x[0] - 2.0).abs() < 1e-6 && (s.x[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_and_geq_need_phase1() {
+        // min x + y s.t. x + y = 10, x >= 3, y >= 2.
+        let p = LpProblem {
+            objective: vec![1.0, 1.0],
+            rows: vec![row(&[(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 10.0)],
+            lower: vec![3.0, 2.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+        };
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - 10.0).abs() < 1e-6);
+        assert!((s.x[0] + s.x[1] - 10.0).abs() < 1e-6);
+        assert!(s.x[0] >= 3.0 - 1e-9 && s.x[1] >= 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and x >= 2.
+        let p = LpProblem {
+            objective: vec![0.0],
+            rows: vec![
+                row(&[(0, 1.0)], ConstraintOp::Leq, 1.0),
+                row(&[(0, 1.0)], ConstraintOp::Geq, 2.0),
+            ],
+            lower: vec![0.0],
+            upper: vec![f64::INFINITY],
+        };
+        assert_eq!(solve(&p).status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x, x >= 0 unconstrained above.
+        let p = LpProblem {
+            objective: vec![-1.0],
+            rows: vec![],
+            lower: vec![0.0],
+            upper: vec![f64::INFINITY],
+        };
+        assert_eq!(solve(&p).status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn upper_bounds_respected() {
+        // min -x - y with x <= 2.5, y <= 1.5 via bounds only.
+        let p = LpProblem {
+            objective: vec![-1.0, -1.0],
+            rows: vec![],
+            lower: vec![0.0, 0.0],
+            upper: vec![2.5, 1.5],
+        };
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.x[0] - 2.5).abs() < 1e-6 && (s.x[1] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shifted_lower_bounds() {
+        // min x with x in [-5, 10] and x >= -3 as a row.
+        let p = LpProblem {
+            objective: vec![1.0],
+            rows: vec![row(&[(0, 1.0)], ConstraintOp::Geq, -3.0)],
+            lower: vec![-5.0],
+            upper: vec![10.0],
+        };
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.x[0] + 3.0).abs() < 1e-6, "x = {}", s.x[0]);
+    }
+
+    #[test]
+    fn negative_rhs_normalisation() {
+        // min y s.t. -x - y <= -4  (i.e. x + y >= 4), x <= 1.
+        let p = LpProblem {
+            objective: vec![0.0, 1.0],
+            rows: vec![row(&[(0, -1.0), (1, -1.0)], ConstraintOp::Leq, -4.0)],
+            lower: vec![0.0, 0.0],
+            upper: vec![1.0, f64::INFINITY],
+        };
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - 3.0).abs() < 1e-6, "objective {}", s.objective);
+    }
+
+    #[test]
+    fn redundant_equalities_do_not_break_phase1() {
+        // x + y = 2 twice, minimise x.
+        let p = LpProblem {
+            objective: vec![1.0, 0.0],
+            rows: vec![
+                row(&[(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 2.0),
+                row(&[(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 2.0),
+            ],
+            lower: vec![0.0, 0.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+        };
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!(s.objective.abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // A classically degenerate LP (many ties in the ratio test).
+        let p = LpProblem {
+            objective: vec![-0.75, 150.0, -0.02, 6.0],
+            rows: vec![
+                row(&[(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], ConstraintOp::Leq, 0.0),
+                row(&[(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], ConstraintOp::Leq, 0.0),
+                row(&[(2, 1.0)], ConstraintOp::Leq, 1.0),
+            ],
+            lower: vec![0.0; 4],
+            upper: vec![f64::INFINITY; 4],
+        };
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal, "Beale's example must terminate");
+        assert!((s.objective - (-0.05)).abs() < 1e-6, "objective {}", s.objective);
+    }
+
+    #[test]
+    fn fixed_variable_via_equal_bounds() {
+        let p = LpProblem {
+            objective: vec![1.0, 1.0],
+            rows: vec![row(&[(0, 1.0), (1, 1.0)], ConstraintOp::Geq, 5.0)],
+            lower: vec![2.0, 0.0],
+            upper: vec![2.0, f64::INFINITY],
+        };
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.x[0] - 2.0).abs() < 1e-9);
+        assert!((s.x[1] - 3.0).abs() < 1e-6);
+    }
+}

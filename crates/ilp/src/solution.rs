@@ -1,0 +1,95 @@
+//! Solver results.
+
+use crate::expr::VarId;
+use std::time::Duration;
+
+/// Final status of a branch-and-bound run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveStatus {
+    /// The returned solution is proven optimal.
+    Optimal,
+    /// A feasible solution was found but optimality was not proven before a
+    /// node/time limit was reached.
+    Feasible,
+    /// The model has no feasible assignment.
+    Infeasible,
+    /// The relaxation is unbounded in the optimisation direction.
+    Unbounded,
+    /// A limit was reached before any feasible solution was found.
+    Unknown,
+}
+
+/// Search statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SolveStats {
+    /// Branch-and-bound nodes processed.
+    pub nodes: usize,
+    /// Total simplex pivots across all LP relaxations.
+    pub lp_iterations: usize,
+    /// Wall-clock time of the solve.
+    pub elapsed: Duration,
+    /// Best proven bound on the optimum (in the model's sense); equals the
+    /// incumbent objective when status is [`SolveStatus::Optimal`].
+    pub best_bound: f64,
+}
+
+/// A feasible (integer) assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Objective value in the model's optimisation sense.
+    pub objective: f64,
+    pub(crate) values: Vec<f64>,
+}
+
+impl Solution {
+    /// Value assigned to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to the solved model.
+    pub fn value(&self, v: VarId) -> f64 {
+        self.values[v.index()]
+    }
+
+    /// Value of `v` rounded to the nearest integer — use for integer and
+    /// binary variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to the solved model.
+    pub fn value_int(&self, v: VarId) -> i64 {
+        self.values[v.index()].round() as i64
+    }
+
+    /// `true` when binary/integer variable `v` rounds to a non-zero value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to the solved model.
+    pub fn is_set(&self, v: VarId) -> bool {
+        self.value_int(v) != 0
+    }
+
+    /// All variable values, indexed by [`VarId::index`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// Outcome of a branch-and-bound run: a status plus the incumbent, if any.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MilpOutcome {
+    /// How the search ended.
+    pub status: SolveStatus,
+    /// Best feasible solution found (present for `Optimal` and `Feasible`).
+    pub best: Option<Solution>,
+    /// Search statistics.
+    pub stats: SolveStats,
+}
+
+impl MilpOutcome {
+    /// `true` when the status proves optimality.
+    pub fn is_optimal(&self) -> bool {
+        self.status == SolveStatus::Optimal
+    }
+}

@@ -1,0 +1,231 @@
+//! Exhaustive coverage audits.
+//!
+//! The campaign in [`crate::campaign`] samples the fault space; the audits
+//! here enumerate it. [`single_fault_coverage`] checks every stuck-at fault
+//! (2·n_v of them), [`leak_coverage`] every physically adjacent control
+//! leak, and [`two_fault_audit`] every (stuck-at-0, stuck-at-1) pair — the
+//! combination Section III-A identifies as the dangerous mutually masking
+//! case and the paper's "any two faults" guarantee is about.
+
+use crate::fault::{Fault, FaultSet};
+use crate::suite::TestSuite;
+use fpva_grid::{Fpva, ValveId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a fault-universe sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageReport<F> {
+    /// Faults (or fault pairs) examined.
+    pub total: usize,
+    /// The ones no vector detected.
+    pub undetected: Vec<F>,
+}
+
+impl<F> CoverageReport<F> {
+    /// Detected fraction, in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        (self.total - self.undetected.len()) as f64 / self.total as f64
+    }
+
+    /// `true` when everything was detected.
+    pub fn is_complete(&self) -> bool {
+        self.undetected.is_empty()
+    }
+}
+
+/// Checks every single stuck-at-0 and stuck-at-1 fault.
+pub fn single_fault_coverage(fpva: &Fpva, suite: &TestSuite) -> CoverageReport<Fault> {
+    let mut undetected = Vec::new();
+    let mut total = 0usize;
+    for (v, _) in fpva.valves() {
+        for fault in [Fault::StuckAt0(v), Fault::StuckAt1(v)] {
+            total += 1;
+            let set = FaultSet::try_from_faults(vec![fault]).expect("single fault is valid");
+            if !suite.detects(fpva, &set) {
+                undetected.push(fault);
+            }
+        }
+    }
+    CoverageReport { total, undetected }
+}
+
+/// Checks every control-leak fault between physically adjacent valves
+/// (ordered pairs: the leak direction matters).
+pub fn leak_coverage(fpva: &Fpva, suite: &TestSuite) -> CoverageReport<Fault> {
+    let mut undetected = Vec::new();
+    let mut total = 0usize;
+    for (actuator, _) in fpva.valves() {
+        for victim in fpva.valve_neighbors(actuator) {
+            total += 1;
+            let fault = Fault::ControlLeak { actuator, victim };
+            let set = FaultSet::try_from_faults(vec![fault]).expect("leak pair is valid");
+            if !suite.detects(fpva, &set) {
+                undetected.push(fault);
+            }
+        }
+    }
+    CoverageReport { total, undetected }
+}
+
+/// Checks every (stuck-at-0, stuck-at-1) pair on distinct valves — the
+/// mutual-masking scenario of the paper's Fig. 5(c)/(d). Quadratic in the
+/// valve count: exhaustive for the small arrays, use
+/// [`two_fault_audit_sampled`] for the large ones.
+pub fn two_fault_audit(fpva: &Fpva, suite: &TestSuite) -> CoverageReport<(Fault, Fault)> {
+    let mut undetected = Vec::new();
+    let mut total = 0usize;
+    for (a, _) in fpva.valves() {
+        for (b, _) in fpva.valves() {
+            if a == b {
+                continue;
+            }
+            total += 1;
+            let pair = (Fault::StuckAt0(a), Fault::StuckAt1(b));
+            let set = FaultSet::try_from_faults(vec![pair.0, pair.1])
+                .expect("distinct valves cannot conflict");
+            if !suite.detects(fpva, &set) {
+                undetected.push(pair);
+            }
+        }
+    }
+    CoverageReport { total, undetected }
+}
+
+/// Randomly samples `samples` (stuck-at-0, stuck-at-1) pairs; reproducible
+/// via `seed`.
+///
+/// # Panics
+///
+/// Panics if the array has fewer than two valves.
+pub fn two_fault_audit_sampled(
+    fpva: &Fpva,
+    suite: &TestSuite,
+    samples: usize,
+    seed: u64,
+) -> CoverageReport<(Fault, Fault)> {
+    let nv = fpva.valve_count();
+    assert!(nv >= 2, "two-fault audit needs at least two valves");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut undetected = Vec::new();
+    for _ in 0..samples {
+        let a = ValveId(rng.gen_range(0..nv));
+        let b = loop {
+            let b = ValveId(rng.gen_range(0..nv));
+            if b != a {
+                break b;
+            }
+        };
+        let pair = (Fault::StuckAt0(a), Fault::StuckAt1(b));
+        let set = FaultSet::try_from_faults(vec![pair.0, pair.1])
+            .expect("distinct valves cannot conflict");
+        if !suite.detects(fpva, &set) {
+            undetected.push(pair);
+        }
+    }
+    CoverageReport { total: samples, undetected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpva_grid::{FpvaBuilder, PortKind, Side, TestVector, ValveState};
+
+    /// 1x4 pipeline: valves v0, v1, v2 in series.
+    fn line4() -> Fpva {
+        FpvaBuilder::new(1, 4)
+            .port(0, 0, Side::West, PortKind::Source)
+            .port(0, 3, Side::East, PortKind::Sink)
+            .build()
+            .unwrap()
+    }
+
+    /// A complete suite for the pipeline: the all-open "path" vector covers
+    /// stuck-at-0 on every valve; per-valve cuts cover stuck-at-1.
+    fn complete_suite(f: &Fpva) -> TestSuite {
+        let mut vectors = vec![TestVector::all_open(f.valve_count())];
+        for (v, _) in f.valves() {
+            let mut cut = TestVector::all_open(f.valve_count());
+            cut.set(v, ValveState::Closed);
+            vectors.push(cut);
+        }
+        TestSuite::new(f, vectors)
+    }
+
+    #[test]
+    fn complete_suite_covers_all_single_faults() {
+        let f = line4();
+        let suite = complete_suite(&f);
+        let report = single_fault_coverage(&f, &suite);
+        assert_eq!(report.total, 2 * 3);
+        assert!(report.is_complete(), "undetected: {:?}", report.undetected);
+        assert_eq!(report.coverage(), 1.0);
+    }
+
+    #[test]
+    fn missing_cut_vector_shows_up_as_undetected() {
+        let f = line4();
+        // Only the all-open vector: stuck-at-1 faults cannot be seen.
+        let suite = TestSuite::new(&f, vec![TestVector::all_open(f.valve_count())]);
+        let report = single_fault_coverage(&f, &suite);
+        assert_eq!(report.undetected.len(), 3);
+        assert!(report
+            .undetected
+            .iter()
+            .all(|fault| matches!(fault, Fault::StuckAt1(_))));
+        assert!((report.coverage() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_fault_pairs_on_pipeline() {
+        let f = line4();
+        let suite = complete_suite(&f);
+        let report = two_fault_audit(&f, &suite);
+        assert_eq!(report.total, 3 * 2);
+        // On a series pipeline the all-open vector always exposes the
+        // stuck-at-0 (there is no detour), so every pair is caught.
+        assert!(report.is_complete(), "undetected: {:?}", report.undetected);
+    }
+
+    #[test]
+    fn sampled_audit_is_reproducible() {
+        let f = line4();
+        let suite = complete_suite(&f);
+        let a = two_fault_audit_sampled(&f, &suite, 25, 9);
+        let b = two_fault_audit_sampled(&f, &suite, 25, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.total, 25);
+    }
+
+    #[test]
+    fn leak_coverage_counts_ordered_adjacent_pairs() {
+        let f = line4();
+        let suite = complete_suite(&f);
+        let report = leak_coverage(&f, &suite);
+        // v0-v1, v1-v0, v1-v2, v2-v1: 4 ordered adjacent pairs.
+        assert_eq!(report.total, 4);
+        // On a series pipeline every leak is inherently unobservable:
+        // commanding the actuator closed already removes all pressure, so
+        // the victim's drag-closure changes nothing. The audit must report
+        // all four pairs as undetected (and the campaign generator skips
+        // such pairs via `leak_is_observable`).
+        assert_eq!(report.undetected.len(), 4, "undetected: {:?}", report.undetected);
+        for (a, _) in f.valves() {
+            for b in f.valve_neighbors(a) {
+                assert!(
+                    !crate::campaign::leak_is_observable(&f, a, b),
+                    "series-pipeline pair ({a},{b}) cannot be observable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_report_coverage_is_one() {
+        let report: CoverageReport<Fault> = CoverageReport { total: 0, undetected: vec![] };
+        assert_eq!(report.coverage(), 1.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Error type of the simulator.
+
+use fpva_grid::ValveId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported when assembling fault sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The same valve appears both stuck-at-0 and stuck-at-1, which is not
+    /// physically meaningful.
+    ConflictingStuckAt {
+        /// The over-constrained valve.
+        valve: ValveId,
+    },
+    /// A control-leak fault names the same valve as actuator and victim.
+    SelfLeak {
+        /// The valve.
+        valve: ValveId,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ConflictingStuckAt { valve } => {
+                write!(f, "valve {valve} cannot be both stuck-at-0 and stuck-at-1")
+            }
+            SimError::SelfLeak { valve } => {
+                write!(f, "control-leak fault on valve {valve} names itself as victim")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}

@@ -1,0 +1,53 @@
+//! Behavioural simulator for FPVA chips under manufacturing faults.
+//!
+//! The paper (Liu et al., DATE 2017) evaluates its test vectors by applying
+//! them to chips with randomly injected manufacturing defects and checking
+//! whether the pressure readings at the sink ports deviate from a fault-free
+//! ("golden") chip. This crate is that evaluation engine:
+//!
+//! * [`Fault`]/[`FaultSet`] — the paper's component-level fault model:
+//!   stuck-at-0 (valve cannot open: broken flow channel), stuck-at-1 (valve
+//!   cannot close: leaking flow channel / broken control channel) and
+//!   control-layer leakage (two valves actuate together),
+//! * [`propagate`] — pressure propagation from the source ports through
+//!   every passable valve site (the physical behaviour of test pressure in
+//!   the flow layer),
+//! * [`TestSuite`] — a vector set with pre-computed golden responses and
+//!   fault-detection queries,
+//! * [`campaign`] — the random multi-fault injection experiment of
+//!   Section IV (10 000 trials of 1–5 faults),
+//! * [`audit`] — exhaustive single-fault and pairwise two-fault coverage
+//!   audits used to check the paper's two-fault detection guarantee.
+//!
+//! # Example
+//!
+//! ```
+//! use fpva_grid::{layouts, TestVector};
+//! use fpva_sim::{Fault, FaultSet, TestSuite};
+//!
+//! # fn main() -> Result<(), fpva_sim::SimError> {
+//! let fpva = layouts::table1_5x5();
+//! // One all-open vector: a stuck-at-0 fault kills the pressure path.
+//! let suite = TestSuite::new(&fpva, vec![TestVector::all_open(fpva.valve_count())]);
+//! let fault = FaultSet::try_from_faults(vec![Fault::StuckAt0(fpva_grid::ValveId(0))])?;
+//! // The 5x5 array is well connected, so one closed valve is *not*
+//! // detectable by the all-open vector alone:
+//! assert!(!suite.detects(&fpva, &fault));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod campaign;
+mod error;
+mod fault;
+mod pressure;
+mod suite;
+
+pub use error::SimError;
+pub use fault::{EffectiveStates, Fault, FaultSet};
+pub use pressure::{propagate, respond, Pressure, Response};
+pub use suite::TestSuite;

@@ -1,0 +1,145 @@
+//! A test-vector suite with pre-computed golden responses.
+
+use crate::fault::FaultSet;
+use crate::pressure::{respond, Response};
+use fpva_grid::{Fpva, TestVector};
+
+/// A set of test vectors together with the sink responses of a fault-free
+/// chip, ready for fault-detection queries.
+///
+/// A fault set is **detected** when at least one vector's faulty response
+/// differs from the golden response — exactly the pass/fail criterion the
+/// paper's pressure meters implement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestSuite {
+    vectors: Vec<TestVector>,
+    expected: Vec<Response>,
+}
+
+impl TestSuite {
+    /// Builds the suite and computes the golden response of every vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vector's length differs from `fpva.valve_count()`.
+    pub fn new(fpva: &Fpva, vectors: Vec<TestVector>) -> Self {
+        let expected =
+            vectors.iter().map(|v| respond(fpva, v, &FaultSet::new())).collect();
+        TestSuite { vectors, expected }
+    }
+
+    /// The vectors, in application order.
+    pub fn vectors(&self) -> &[TestVector] {
+        &self.vectors
+    }
+
+    /// Golden responses, parallel to [`TestSuite::vectors`].
+    pub fn expected(&self) -> &[Response] {
+        &self.expected
+    }
+
+    /// Number of vectors (the paper's `N` when the suite is complete).
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// `true` when the suite has no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Appends more vectors, computing their golden responses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vector's length differs from `fpva.valve_count()`.
+    pub fn extend(&mut self, fpva: &Fpva, vectors: impl IntoIterator<Item = TestVector>) {
+        for v in vectors {
+            self.expected.push(respond(fpva, &v, &FaultSet::new()));
+            self.vectors.push(v);
+        }
+    }
+
+    /// Index of the first vector whose faulty response deviates from
+    /// golden, or `None` when the fault set escapes the whole suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault references a valve outside the array.
+    pub fn first_detecting_vector(&self, fpva: &Fpva, faults: &FaultSet) -> Option<usize> {
+        self.vectors
+            .iter()
+            .zip(&self.expected)
+            .position(|(v, golden)| respond(fpva, v, faults) != *golden)
+    }
+
+    /// `true` when some vector detects the fault set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault references a valve outside the array.
+    pub fn detects(&self, fpva: &Fpva, faults: &FaultSet) -> bool {
+        self.first_detecting_vector(fpva, faults).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::Fault;
+    use fpva_grid::{FpvaBuilder, PortKind, Side, ValveId, ValveState};
+
+    fn line3() -> Fpva {
+        FpvaBuilder::new(1, 3)
+            .port(0, 0, Side::West, PortKind::Source)
+            .port(0, 2, Side::East, PortKind::Sink)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn golden_suite_detects_nothing_on_fault_free_chip() {
+        let f = line3();
+        let suite = TestSuite::new(
+            &f,
+            vec![TestVector::all_open(f.valve_count()), TestVector::all_closed(f.valve_count())],
+        );
+        assert_eq!(suite.len(), 2);
+        assert!(!suite.detects(&f, &FaultSet::new()));
+    }
+
+    #[test]
+    fn path_vector_detects_stuck_at_0() {
+        let f = line3();
+        let suite = TestSuite::new(&f, vec![TestVector::all_open(f.valve_count())]);
+        let faults = FaultSet::try_from_faults(vec![Fault::StuckAt0(ValveId(0))]).unwrap();
+        assert_eq!(suite.first_detecting_vector(&f, &faults), Some(0));
+    }
+
+    #[test]
+    fn cut_vector_detects_stuck_at_1() {
+        let f = line3();
+        // Cut = both valves closed; a single stuck-at-1 is NOT enough to
+        // leak across two closed valves, two are.
+        let suite = TestSuite::new(&f, vec![TestVector::all_closed(f.valve_count())]);
+        let one = FaultSet::try_from_faults(vec![Fault::StuckAt1(ValveId(0))]).unwrap();
+        assert!(!suite.detects(&f, &one));
+        // Close only valve 1 (cut of size 1): one stuck-at-1 leaks through.
+        let mut cut = TestVector::all_open(f.valve_count());
+        cut.set(ValveId(1), ValveState::Closed);
+        let suite = TestSuite::new(&f, vec![cut]);
+        let leak = FaultSet::try_from_faults(vec![Fault::StuckAt1(ValveId(1))]).unwrap();
+        assert!(suite.detects(&f, &leak));
+    }
+
+    #[test]
+    fn extend_keeps_golden_in_sync() {
+        let f = line3();
+        let mut suite = TestSuite::new(&f, vec![TestVector::all_closed(f.valve_count())]);
+        suite.extend(&f, [TestVector::all_open(f.valve_count())]);
+        assert_eq!(suite.len(), 2);
+        assert_eq!(suite.expected().len(), 2);
+        let faults = FaultSet::try_from_faults(vec![Fault::StuckAt0(ValveId(1))]).unwrap();
+        assert_eq!(suite.first_detecting_vector(&f, &faults), Some(1));
+    }
+}

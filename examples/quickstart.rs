@@ -1,0 +1,54 @@
+//! Quickstart: generate a test plan for a Table I array, print its
+//! composition, and verify a couple of faults end-to-end.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use fpva::sim::{respond, Fault, FaultSet};
+use fpva::{layouts, Atpg, ValveId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The 10x10 benchmark array of the paper's Table I: 176 valves, one
+    // transportation channel, source in the top-left corner, pressure
+    // meter in the bottom-right corner.
+    let fpva = layouts::table1_10x10();
+    println!(
+        "array: {}x{} with {} valves, {} source(s), {} sink(s)",
+        fpva.rows(),
+        fpva.cols(),
+        fpva.valve_count(),
+        fpva.sources().count(),
+        fpva.sinks().count()
+    );
+
+    // Generate the complete test plan: flow paths (stuck-at-0), cut-sets
+    // (stuck-at-1) and control-leakage vectors.
+    let plan = Atpg::new().generate(&fpva)?;
+    println!(
+        "plan: {} flow paths + {} cut-sets + {} leakage vectors = {} test vectors",
+        plan.flow_paths().len(),
+        plan.cut_sets().len(),
+        plan.leakage_paths().len(),
+        plan.vector_count()
+    );
+    println!("      (naive baseline would need {} vectors)", 2 * fpva.valve_count());
+
+    // Apply the suite to two defective chips.
+    let suite = plan.to_suite(&fpva);
+    let broken_flow = FaultSet::try_from_faults(vec![Fault::StuckAt0(ValveId(42))])?;
+    let leaking = FaultSet::try_from_faults(vec![Fault::StuckAt1(ValveId(99))])?;
+    for (name, faults) in [("stuck-at-0 at v42", &broken_flow), ("stuck-at-1 at v99", &leaking)] {
+        match suite.first_detecting_vector(&fpva, faults) {
+            Some(i) => {
+                let vec = &suite.vectors()[i];
+                let faulty = respond(&fpva, vec, faults);
+                println!(
+                    "{name}: detected by vector #{i} (expected {:?}, read {:?})",
+                    suite.expected()[i].readings(),
+                    faulty.readings()
+                );
+            }
+            None => println!("{name}: escaped the suite (!)"),
+        }
+    }
+    Ok(())
+}

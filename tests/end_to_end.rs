@@ -1,0 +1,122 @@
+//! End-to-end integration: generate plans for the paper's benchmark
+//! arrays and audit them with the simulator.
+
+use fpva::sim::audit;
+use fpva::{layouts, Atpg};
+
+#[test]
+fn table1_valve_counts_match_paper() {
+    let expected = [39, 176, 411, 744, 1704];
+    for (entry, &nv) in layouts::table1().iter().zip(&expected) {
+        assert_eq!(entry.fpva.valve_count(), nv, "{}", entry.name);
+    }
+}
+
+#[test]
+fn plans_leave_no_untestable_faults_on_benchmark_arrays() {
+    // Limit to the two smallest arrays to keep debug-profile runtime sane;
+    // the bench binaries exercise the full set in release mode.
+    for entry in layouts::table1().into_iter().take(2) {
+        let plan = Atpg::new().generate(&entry.fpva).unwrap();
+        assert!(plan.untestable_open().is_empty(), "{}", entry.name);
+        assert!(plan.untestable_closed().is_empty(), "{}", entry.name);
+        // The only permissible leftovers are leak pairs that are
+        // *certified* untestable (the port-less corner pockets).
+        for &(a, b) in plan.untestable_pairs() {
+            assert!(
+                fpva::atpg::leakage::pair_untestable(&entry.fpva, a, b),
+                "{}: pair ({a},{b}) left uncovered without certificate",
+                entry.name
+            );
+        }
+    }
+}
+
+#[test]
+fn cut_counts_match_table1_on_all_arrays() {
+    for entry in layouts::table1() {
+        let cuts = fpva::atpg::cutset::straight_line_cuts(&entry.fpva).unwrap();
+        assert_eq!(cuts.len(), entry.paper_cut_sets, "{}", entry.name);
+    }
+}
+
+#[test]
+fn full_single_fault_coverage_5x5() {
+    let fpva = layouts::table1_5x5();
+    let plan = Atpg::new().generate(&fpva).unwrap();
+    let suite = plan.to_suite(&fpva);
+    let stuck = audit::single_fault_coverage(&fpva, &suite);
+    assert!(stuck.is_complete(), "stuck-at escapes: {:?}", stuck.undetected);
+    // Every adjacent leak pair is caught except the four physically
+    // untestable corner-pocket pairs.
+    let leaks = audit::leak_coverage(&fpva, &suite);
+    assert_eq!(leaks.undetected.len(), 4, "leak escapes: {:?}", leaks.undetected);
+    for fault in &leaks.undetected {
+        let fpva::Fault::ControlLeak { actuator, victim } = fault else {
+            panic!("unexpected fault kind {fault:?}")
+        };
+        assert!(fpva::atpg::leakage::pair_untestable(&fpva, *actuator, *victim));
+    }
+}
+
+#[test]
+fn full_single_fault_coverage_10x10() {
+    let fpva = layouts::table1_10x10();
+    let plan = Atpg::new().generate(&fpva).unwrap();
+    let suite = plan.to_suite(&fpva);
+    let stuck = audit::single_fault_coverage(&fpva, &suite);
+    assert!(stuck.is_complete(), "stuck-at escapes: {:?}", stuck.undetected);
+}
+
+#[test]
+fn two_fault_guarantee_exhaustive_5x5() {
+    // The paper guarantees detection of any two faults; check every
+    // (stuck-at-0, stuck-at-1) pair on the 5x5 array (39*38 pairs).
+    let fpva = layouts::table1_5x5();
+    let plan = Atpg::new().generate(&fpva).unwrap();
+    let suite = plan.to_suite(&fpva);
+    let report = audit::two_fault_audit(&fpva, &suite);
+    assert!(report.is_complete(), "masked pairs: {:?}", report.undetected);
+}
+
+#[test]
+fn two_fault_sampled_15x15() {
+    let fpva = layouts::table1_15x15();
+    let plan = Atpg::new().generate(&fpva).unwrap();
+    let suite = plan.to_suite(&fpva);
+    let report = audit::two_fault_audit_sampled(&fpva, &suite, 400, 21);
+    assert!(report.is_complete(), "masked pairs: {:?}", report.undetected);
+}
+
+#[test]
+fn random_campaign_catches_everything_on_5x5() {
+    use fpva::sim::campaign::{self, CampaignConfig};
+    let fpva = layouts::table1_5x5();
+    let plan = Atpg::new().generate(&fpva).unwrap();
+    let suite = plan.to_suite(&fpva);
+    let config = CampaignConfig { trials: 500, ..Default::default() };
+    for row in campaign::run(&fpva, &suite, &config) {
+        assert!(
+            row.all_detected(),
+            "{} escapes at {} faults: {:?}",
+            row.trials - row.detected,
+            row.fault_count,
+            row.escapes.first()
+        );
+    }
+}
+
+#[test]
+fn proposed_is_an_order_of_magnitude_below_baseline() {
+    for entry in layouts::table1().into_iter().take(3) {
+        let plan = Atpg::new().generate(&entry.fpva).unwrap();
+        let baseline = fpva::atpg::baseline::baseline_vector_count(&entry.fpva);
+        assert!(
+            plan.vector_count() * 3 < baseline,
+            "{}: N={} vs baseline {}",
+            entry.name,
+            plan.vector_count(),
+            baseline
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Simulation-backed semantics of the generated vectors: each flow-path
+//! vector must expose a stuck-at-0 on *every* valve it claims to cover,
+//! and each cut vector a stuck-at-1 on every cut valve — on the real
+//! benchmark layouts including channels and obstacles.
+
+use fpva::sim::{respond, Fault, FaultSet};
+use fpva::{layouts, Atpg};
+
+#[test]
+fn every_path_vector_exposes_each_of_its_valves() {
+    for entry in layouts::table1().into_iter().take(2) {
+        let f = &entry.fpva;
+        let plan = Atpg::new().generate(f).unwrap();
+        for path in plan.flow_paths().iter().chain(plan.leakage_paths()) {
+            let vector = path.to_vector(f);
+            let golden = respond(f, &vector, &FaultSet::new());
+            assert!(golden.any_pressure(), "{}: path vector delivers no pressure", entry.name);
+            for valve in path.valves(f) {
+                let fault =
+                    FaultSet::try_from_faults(vec![Fault::StuckAt0(valve)]).unwrap();
+                assert_ne!(
+                    respond(f, &vector, &fault),
+                    golden,
+                    "{}: stuck-at-0 at {valve} invisible on its own path vector",
+                    entry.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_cut_vector_exposes_each_of_its_valves_on_5x5() {
+    let f = layouts::table1_5x5();
+    let plan = Atpg::new().generate(&f).unwrap();
+    let mut exposed = vec![false; f.valve_count()];
+    for cut in plan.cut_sets() {
+        let vector = cut.to_vector(&f);
+        let golden = respond(&f, &vector, &FaultSet::new());
+        assert!(!golden.any_pressure(), "cut vector leaks on a fault-free chip");
+        for &valve in cut.valves() {
+            let fault = FaultSet::try_from_faults(vec![Fault::StuckAt1(valve)]).unwrap();
+            if respond(&f, &vector, &fault) != golden {
+                exposed[valve.index()] = true;
+            }
+        }
+    }
+    // Every valve's stuck-at-1 must be exposed by at least one cut vector
+    // (not necessarily every cut containing it: a cut may close a valve
+    // redundantly, e.g. via the constraint-(9) repair).
+    let missing: Vec<usize> =
+        (0..f.valve_count()).filter(|&i| !exposed[i]).collect();
+    assert!(missing.is_empty(), "stuck-at-1 not exposed for valves {missing:?}");
+}
+
+#[test]
+fn channel_cells_do_not_mask_path_faults_on_20x20() {
+    // The 20x20 layout has both channel orientations; this is the
+    // regression test for the channel-bypass masking bug (a path visiting
+    // a channel component twice is invalid).
+    let f = layouts::table1_20x20();
+    let plan = Atpg::new().generate(&f).unwrap();
+    for path in plan.flow_paths() {
+        let vector = path.to_vector(&f);
+        let golden = respond(&f, &vector, &FaultSet::new());
+        for valve in path.valves(&f) {
+            let fault = FaultSet::try_from_faults(vec![Fault::StuckAt0(valve)]).unwrap();
+            assert_ne!(
+                respond(&f, &vector, &fault),
+                golden,
+                "stuck-at-0 at {valve} masked by a channel bypass"
+            );
+        }
+    }
+}
