@@ -9,7 +9,7 @@
 //! one *open-test* vector (a dedicated flow path through that valve) and
 //! one *close-test* vector (a dedicated cut-set through that valve).
 
-use crate::connectivity::path_through_edge;
+use crate::connectivity::{endpoint_ports, path_through_edge};
 use crate::cutset::cut_through_valve;
 use crate::error::AtpgError;
 use crate::path::FlowPath;
@@ -39,9 +39,9 @@ pub struct BaselineSuite {
 ///
 /// Returns [`AtpgError::MissingPorts`] when the array lacks ports.
 pub fn baseline_vectors(fpva: &Fpva, seed: u64, tries: usize) -> Result<BaselineSuite, AtpgError> {
-    let source =
-        fpva.sources().next().map(|(id, _)| id).ok_or(AtpgError::MissingPorts)?;
-    let sink = fpva.sinks().next().map(|(id, _)| id).ok_or(AtpgError::MissingPorts)?;
+    if fpva.sources().next().is_none() || fpva.sinks().next().is_none() {
+        return Err(AtpgError::MissingPorts);
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut vectors = Vec::with_capacity(baseline_vector_count(fpva));
     let mut skipped = Vec::new();
@@ -49,6 +49,10 @@ pub fn baseline_vectors(fpva: &Fpva, seed: u64, tries: usize) -> Result<Baseline
     for (v, edge) in fpva.valves() {
         let mut ok = false;
         if let Some(cells) = path_through_edge(fpva, edge, &avoid, &|_| false, &mut rng, tries) {
+            // The search may route between any source/sink pair; resolve
+            // the ports from the path endpoints.
+            let (source, sink) =
+                endpoint_ports(fpva, &cells).expect("search endpoints are port cells");
             let path = FlowPath::new(fpva, source, sink, cells)
                 .expect("search yields validated simple paths");
             vectors.push(path.to_vector(fpva));

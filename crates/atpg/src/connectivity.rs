@@ -2,7 +2,7 @@
 //! simple-path search. These are the workhorses behind the greedy path
 //! cover, the leakage generator and cut-set validation.
 
-use fpva_grid::{CellId, EdgeId, EdgeKind, Fpva};
+use fpva_grid::{CellId, EdgeId, EdgeKind, Fpva, PortId};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::collections::HashSet;
@@ -11,6 +11,25 @@ use std::collections::HashSet;
 /// edge is a valve or an always-open channel site, not a wall).
 pub fn edge_passable(fpva: &Fpva, edge: EdgeId) -> bool {
     fpva.edge_kind(edge) != EdgeKind::Wall
+}
+
+/// Resolves the source and sink ports whose cells are the endpoints of a
+/// search result. [`path_through_edge`] routes between *arbitrary*
+/// source/sink pairs, so callers must not assume the chip's first ports;
+/// on multi-port chips that assumption rejects (or mis-labels) every path
+/// that terminates elsewhere.
+pub fn endpoint_ports(fpva: &Fpva, cells: &[CellId]) -> Option<(PortId, PortId)> {
+    let first = *cells.first()?;
+    let last = *cells.last()?;
+    let source = fpva
+        .sources()
+        .find(|(_, p)| p.cell == first)
+        .map(|(id, _)| id)?;
+    let sink = fpva
+        .sinks()
+        .find(|(_, p)| p.cell == last)
+        .map(|(id, _)| id)?;
+    Some((source, sink))
 }
 
 /// Component id per cell (indexed by [`Fpva::cell_index`]) where cells
@@ -52,21 +71,23 @@ pub fn open_components(fpva: &Fpva) -> Vec<usize> {
 /// (always-open edges, so the replacement is physically equivalent — the
 /// detour segment was a pressure bypass anyway). Returns the repaired
 /// simple path.
-pub fn repair_contiguity(
-    fpva: &Fpva,
-    components: &[usize],
-    mut cells: Vec<CellId>,
-) -> Vec<CellId> {
+pub fn repair_contiguity(fpva: &Fpva, components: &[usize], mut cells: Vec<CellId>) -> Vec<CellId> {
     'outer: loop {
         // Locate a component whose occurrences are non-contiguous.
         let comp_of = |c: CellId| components[fpva.cell_index(c)];
         for i in 0..cells.len() {
             let c = comp_of(cells[i]);
-            let first = cells.iter().position(|&x| comp_of(x) == c).expect("present");
+            let first = cells
+                .iter()
+                .position(|&x| comp_of(x) == c)
+                .expect("present");
             if first < i {
                 continue; // handled when scanning `first`
             }
-            let last = cells.iter().rposition(|&x| comp_of(x) == c).expect("present");
+            let last = cells
+                .iter()
+                .rposition(|&x| comp_of(x) == c)
+                .expect("present");
             let gap = (first..=last).any(|k| comp_of(cells[k]) != c);
             if !gap {
                 continue;
@@ -399,7 +420,10 @@ mod tests {
             .build()
             .unwrap();
         let seen = reachable_from(&f, &[CellId::new(0, 0)], &HashSet::new());
-        assert!(!seen[f.cell_index(CellId::new(0, 2))], "obstacle column splits the array");
+        assert!(
+            !seen[f.cell_index(CellId::new(0, 2))],
+            "obstacle column splits the array"
+        );
     }
 
     #[test]
@@ -435,7 +459,9 @@ mod tests {
         for (_, edge) in f.valves() {
             let cells = path_through_edge(&f, edge, &HashSet::new(), &|_| false, &mut rng, 64)
                 .unwrap_or_else(|| panic!("no path through {edge}"));
-            let crossed = cells.windows(2).any(|w| f.edge_between(w[0], w[1]) == Some(edge));
+            let crossed = cells
+                .windows(2)
+                .any(|w| f.edge_between(w[0], w[1]) == Some(edge));
             assert!(crossed, "returned path skips the requested edge {edge}");
         }
     }
@@ -446,8 +472,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         // A 1x3 pipeline: avoiding edge 0 makes edge 1 unreachable.
         let avoid: HashSet<EdgeId> = [EdgeId::horizontal(0, 0)].into_iter().collect();
-        let got =
-            path_through_edge(&f, EdgeId::horizontal(0, 1), &avoid, &|_| false, &mut rng, 16);
+        let got = path_through_edge(
+            &f,
+            EdgeId::horizontal(0, 1),
+            &avoid,
+            &|_| false,
+            &mut rng,
+            16,
+        );
         assert!(got.is_none());
     }
 
@@ -479,8 +511,12 @@ mod tests {
             .unwrap();
         let comps = open_components(&f);
         // Straight pass through the channel: fine.
-        let pass: Vec<CellId> =
-            vec![CellId::new(0, 0), CellId::new(1, 0), CellId::new(1, 1), CellId::new(2, 1)];
+        let pass: Vec<CellId> = vec![
+            CellId::new(0, 0),
+            CellId::new(1, 0),
+            CellId::new(1, 1),
+            CellId::new(2, 1),
+        ];
         assert!(components_contiguous(&f, &comps, &pass));
         // Leave the channel and come back: bypass loop, rejected.
         let reenter: Vec<CellId> = vec![
@@ -534,6 +570,10 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        assert_eq!(path[1], CellId::new(1, 0), "preferred (vertical) edge tried first");
+        assert_eq!(
+            path[1],
+            CellId::new(1, 0),
+            "preferred (vertical) edge tried first"
+        );
     }
 }

@@ -14,7 +14,10 @@ impl CoverageTracker {
     /// A tracker with every valve of `fpva` uncovered.
     pub fn new(fpva: &Fpva) -> Self {
         let n = fpva.valve_count();
-        CoverageTracker { covered: vec![false; n], remaining: n }
+        CoverageTracker {
+            covered: vec![false; n],
+            remaining: n,
+        }
     }
 
     /// Marks a valve covered; returns `true` when it was newly covered.
@@ -40,7 +43,10 @@ impl CoverageTracker {
 
     /// How many valves the given set would newly cover.
     pub fn gain<'a, I: IntoIterator<Item = &'a ValveId>>(&self, valves: I) -> usize {
-        valves.into_iter().filter(|v| !self.covered[v.index()]).count()
+        valves
+            .into_iter()
+            .filter(|v| !self.covered[v.index()])
+            .count()
     }
 
     /// `true` when `v` is covered.

@@ -94,14 +94,14 @@ fn crossing(fpva: &Fpva, a: Corner, b: Corner) -> Option<EdgeId> {
     let ((i0, j0), (i1, j1)) = if a <= b { (a, b) } else { (b, a) };
     if j0 == j1 && i1 == i0 + 1 {
         // Vertical move at column boundary j0: crosses H(i0, j0-1).
-        if j0 >= 1 && j0 <= cols - 1 {
+        if j0 >= 1 && j0 < cols {
             Some(EdgeId::horizontal(i0, j0 - 1))
         } else {
             None
         }
     } else if i0 == i1 && j1 == j0 + 1 {
         // Horizontal move at row boundary i0: crosses V(i0-1, j0).
-        if i0 >= 1 && i0 <= rows - 1 {
+        if i0 >= 1 && i0 < rows {
             Some(EdgeId::vertical(i0 - 1, j0))
         } else {
             None
@@ -367,7 +367,9 @@ pub fn cut_through_valve(fpva: &Fpva, valve: ValveId) -> Option<CutSet> {
             let mut valves = crossed_valves(fpva, &curve);
             valves.push(valve);
             apply_masking_constraint(fpva, &curve, &mut valves);
-            let Ok(cut) = CutSet::new(fpva, valves) else { continue };
+            let Ok(cut) = CutSet::new(fpva, valves) else {
+                continue;
+            };
             // The cut must be *minimal through `valve`*: a stuck-at-1 at
             // `valve` is only observable if opening it alone reconnects a
             // source to a sink. Otherwise try the next curve shape.
@@ -378,8 +380,7 @@ pub fn cut_through_valve(fpva: &Fpva, valve: ValveId) -> Option<CutSet> {
                 .map(|&v| fpva.edge_of(v))
                 .collect();
             let reach = reachable_from(fpva, &source_cells(fpva), &blocked);
-            let reconnects =
-                sink_cells(fpva).iter().any(|&s| reach[fpva.cell_index(s)]);
+            let reconnects = sink_cells(fpva).iter().any(|&s| reach[fpva.cell_index(s)]);
             if reconnects {
                 return Some(cut);
             }
@@ -483,7 +484,12 @@ mod tests {
     fn cuts_cover_every_valve_on_table1_arrays() {
         for entry in layouts::table1() {
             let cover = cut_cover(&entry.fpva).unwrap();
-            assert!(cover.is_complete(), "{}: uncovered {:?}", entry.name, cover.uncovered);
+            assert!(
+                cover.is_complete(),
+                "{}: uncovered {:?}",
+                entry.name,
+                cover.uncovered
+            );
         }
     }
 

@@ -42,10 +42,17 @@ impl fmt::Display for AtpgError {
             }
             AtpgError::InvalidPath { reason } => write!(f, "invalid flow path: {reason}"),
             AtpgError::NotSeparating { reached_sink } => {
-                write!(f, "cut-set does not separate sources from sink cell {reached_sink}")
+                write!(
+                    f,
+                    "cut-set does not separate sources from sink cell {reached_sink}"
+                )
             }
             AtpgError::UncoverableValves { valves } => {
-                write!(f, "no simple source-to-sink path covers {} valve(s)", valves.len())
+                write!(
+                    f,
+                    "no simple source-to-sink path covers {} valve(s)",
+                    valves.len()
+                )
             }
             AtpgError::Solver { reason } => write!(f, "ILP engine failed: {reason}"),
         }

@@ -12,7 +12,7 @@
 //!   coverable valves are hit. Works on arbitrary layouts with channels
 //!   and obstacles.
 
-use crate::connectivity::{path_through_edge, source_cells};
+use crate::connectivity::{endpoint_ports, path_through_edge, source_cells};
 use crate::cover::CoverageTracker;
 use crate::error::AtpgError;
 use crate::path::FlowPath;
@@ -39,11 +39,17 @@ impl PathCover {
 }
 
 fn first_source(fpva: &Fpva) -> Result<PortId, AtpgError> {
-    fpva.sources().next().map(|(id, _)| id).ok_or(AtpgError::MissingPorts)
+    fpva.sources()
+        .next()
+        .map(|(id, _)| id)
+        .ok_or(AtpgError::MissingPorts)
 }
 
 fn first_sink(fpva: &Fpva) -> Result<PortId, AtpgError> {
-    fpva.sinks().next().map(|(id, _)| id).ok_or(AtpgError::MissingPorts)
+    fpva.sinks()
+        .next()
+        .map(|(id, _)| id)
+        .ok_or(AtpgError::MissingPorts)
 }
 
 /// Builds the row-wise serpentine cell sequence over `rows`, starting at
@@ -62,7 +68,10 @@ pub(crate) fn serpentine_cells(row_start: usize, row_end: usize, cols: usize) ->
 }
 
 fn transpose(cells: Vec<CellId>) -> Vec<CellId> {
-    cells.into_iter().map(|c| CellId::new(c.col, c.row)).collect()
+    cells
+        .into_iter()
+        .map(|c| CellId::new(c.col, c.row))
+        .collect()
 }
 
 /// The two serpentine sweeps of a **full** array with corner ports: a
@@ -128,8 +137,10 @@ pub(crate) fn cover_remaining(
     let mut uncovered_final: Vec<ValveId> = Vec::new();
     loop {
         let candidates = tracker.uncovered();
-        let Some(target) =
-            candidates.iter().copied().find(|v| !uncovered_final.contains(v))
+        let Some(target) = candidates
+            .iter()
+            .copied()
+            .find(|v| !uncovered_final.contains(v))
         else {
             break;
         };
@@ -142,8 +153,14 @@ pub(crate) fn cover_remaining(
                 _ => false,
             }
         };
+        // The search may route between any source/sink pair; read the
+        // ports off the path endpoints rather than assuming the first
+        // ports (which silently rejects every path to another sink).
         let found = path_through_edge(fpva, edge, &avoid, &prefer, rng, tries)
-            .and_then(|cells| FlowPath::new(fpva, source, sink, cells).ok())
+            .and_then(|cells| {
+                let (src, snk) = endpoint_ports(fpva, &cells)?;
+                FlowPath::new(fpva, src, snk, cells).ok()
+            })
             .or_else(|| l_path_through(fpva, source, sink, edge));
         let Some(path) = found else {
             uncovered_final.push(target);
@@ -213,7 +230,8 @@ pub fn prune_redundant(fpva: &Fpva, paths: Vec<FlowPath>) -> Vec<FlowPath> {
         }
         // Path i is redundant when every valve it covers is covered elsewhere
         // — unless it is the last remaining path (keep at least one).
-        let redundant = !valve_sets[i].is_empty() && valve_sets[i].iter().all(|v| counts[v.index()] > 0);
+        let redundant =
+            !valve_sets[i].is_empty() && valve_sets[i].iter().all(|v| counts[v.index()] > 0);
         if redundant && keep.iter().filter(|&&k| k).count() > 1 {
             keep[i] = false;
         }
@@ -246,7 +264,10 @@ mod tests {
     fn serpentine_fails_on_even_dimension() {
         // Even row count: the row sweep ends at the west edge, not the sink.
         let f = layouts::full_array(4, 4);
-        assert!(matches!(serpentine_paths(&f), Err(AtpgError::InvalidPath { .. })));
+        assert!(matches!(
+            serpentine_paths(&f),
+            Err(AtpgError::InvalidPath { .. })
+        ));
     }
 
     #[test]
@@ -254,7 +275,11 @@ mod tests {
         for (r, c) in [(3, 3), (4, 4), (4, 6), (5, 5)] {
             let f = layouts::full_array(r, c);
             let cover = greedy_cover(&f, 17, 48).unwrap();
-            assert!(cover.is_complete(), "{r}x{c}: uncovered {:?}", cover.uncovered);
+            assert!(
+                cover.is_complete(),
+                "{r}x{c}: uncovered {:?}",
+                cover.uncovered
+            );
             for p in &cover.paths {
                 let unique: std::collections::HashSet<_> = p.cells().iter().collect();
                 assert_eq!(unique.len(), p.len(), "path not simple");
@@ -268,7 +293,11 @@ mod tests {
         let cover = greedy_cover(&f, 23, 48).unwrap();
         assert!(cover.is_complete());
         // Should be a handful of paths, far below the 39-valve upper bound.
-        assert!(cover.paths.len() <= 12, "too many paths: {}", cover.paths.len());
+        assert!(
+            cover.paths.len() <= 12,
+            "too many paths: {}",
+            cover.paths.len()
+        );
     }
 
     #[test]

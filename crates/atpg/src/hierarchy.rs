@@ -38,7 +38,11 @@ pub struct HierarchyConfig {
 
 impl Default for HierarchyConfig {
     fn default() -> Self {
-        HierarchyConfig { block_size: 5, seed: 0x11EA_2017, tries: 64 }
+        HierarchyConfig {
+            block_size: 5,
+            seed: 0x11EA_2017,
+            tries: 64,
+        }
     }
 }
 
@@ -48,7 +52,11 @@ fn ports(fpva: &Fpva) -> Result<(PortId, PortId), AtpgError> {
         .next()
         .map(|(id, _)| id)
         .ok_or(AtpgError::MissingPorts)?;
-    let sink = fpva.sinks().next().map(|(id, _)| id).ok_or(AtpgError::MissingPorts)?;
+    let sink = fpva
+        .sinks()
+        .next()
+        .map(|(id, _)| id)
+        .ok_or(AtpgError::MissingPorts)?;
     Ok((source, sink))
 }
 
@@ -58,7 +66,7 @@ fn row_band_cells(fpva: &Fpva, r0: usize, r1: usize) -> Vec<CellId> {
     let (rows, cols) = (fpva.rows(), fpva.cols());
     let mut cells: Vec<CellId> = (0..r0).map(|r| CellId::new(r, 0)).collect();
     let band = serpentine_cells(r0, r1, cols);
-    let ends_east = (r1 - r0) % 2 == 0;
+    let ends_east = (r1 - r0).is_multiple_of(2);
     cells.extend(band);
     if ends_east {
         // Band ends at (r1, cols-1): descend the east column to the sink.
@@ -113,7 +121,7 @@ fn col_band_cells(fpva: &Fpva, c0: usize, c1: usize) -> Vec<CellId> {
             cells.extend((0..rows).rev().map(|r| CellId::new(r, col)));
         }
     }
-    let ends_south = (c1 - c0) % 2 == 0;
+    let ends_south = (c1 - c0).is_multiple_of(2);
     if ends_south {
         cells.extend((c1 + 1..cols).map(|c| CellId::new(rows - 1, c)));
     } else {
@@ -194,7 +202,10 @@ mod tests {
     #[test]
     fn block_size_one_still_works() {
         let f = layouts::full_array(3, 3);
-        let config = HierarchyConfig { block_size: 1, ..Default::default() };
+        let config = HierarchyConfig {
+            block_size: 1,
+            ..Default::default()
+        };
         let cover = hierarchical_cover(&f, &config).unwrap();
         assert_complete(&f, &cover);
     }

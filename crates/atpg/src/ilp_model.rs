@@ -61,8 +61,10 @@ struct PathVars {
 /// Builds the feasibility model "cover all valves with exactly `k` paths".
 fn build_model(fpva: &Fpva, k: usize) -> (Model, Vec<PathVars>) {
     let mut model = Model::new(Sense::Minimize);
-    let cells: Vec<CellId> =
-        fpva.cells().filter(|&c| fpva.cell_kind(c) != CellKind::Obstacle).collect();
+    let cells: Vec<CellId> = fpva
+        .cells()
+        .filter(|&c| fpva.cell_kind(c) != CellKind::Obstacle)
+        .collect();
     let passable: Vec<EdgeId> = fpva
         .edges()
         .filter(|&(_, kind)| kind != EdgeKind::Wall)
@@ -86,7 +88,10 @@ fn build_model(fpva: &Fpva, k: usize) -> (Model, Vec<PathVars>) {
         for (pid, port) in fpva.ports() {
             pe.insert(pid, model.binary_var(format!("pe{m}_{pid}")));
             if port.kind == PortKind::Source {
-                fp.insert(pid, model.continuous_var(format!("fp{m}_{pid}"), 0.0, big_m));
+                fp.insert(
+                    pid,
+                    model.continuous_var(format!("fp{m}_{pid}"), 0.0, big_m),
+                );
             }
         }
         let mut c = HashMap::new();
@@ -183,13 +188,17 @@ fn extract_path(
         .iter()
         .find(|(pid, &var)| fpva.port(**pid).kind == PortKind::Source && sol.is_set(var))
         .map(|(pid, _)| *pid)
-        .ok_or_else(|| AtpgError::Solver { reason: "path without source port".into() })?;
+        .ok_or_else(|| AtpgError::Solver {
+            reason: "path without source port".into(),
+        })?;
     let sink = vars
         .pe
         .iter()
         .find(|(pid, &var)| fpva.port(**pid).kind == PortKind::Sink && sol.is_set(var))
         .map(|(pid, _)| *pid)
-        .ok_or_else(|| AtpgError::Solver { reason: "path without sink port".into() })?;
+        .ok_or_else(|| AtpgError::Solver {
+            reason: "path without sink port".into(),
+        })?;
     let goal = fpva.port(sink).cell;
     let mut cells = vec![fpva.port(source).cell];
     let mut prev_edge: Option<EdgeId> = None;
@@ -203,11 +212,15 @@ fn extract_path(
             .find(|&(e, _)| {
                 Some(e) != prev_edge && vars.v.get(&e).is_some_and(|&var| sol.is_set(var))
             })
-            .ok_or_else(|| AtpgError::Solver { reason: format!("path dead-ends at {cur}") })?;
+            .ok_or_else(|| AtpgError::Solver {
+                reason: format!("path dead-ends at {cur}"),
+            })?;
         prev_edge = Some(next.0);
         cells.push(next.1);
         if cells.len() > fpva.cell_count() + 1 {
-            return Err(AtpgError::Solver { reason: "path extraction cycled".into() });
+            return Err(AtpgError::Solver {
+                reason: "path extraction cycled".into(),
+            });
         }
     }
     let _ = &vars.c; // c is implied by the walk; kept for debugging models
@@ -228,7 +241,10 @@ pub fn min_path_cover_ilp(fpva: &Fpva, config: &PathIlpConfig) -> Result<PathCov
         return Err(AtpgError::MissingPorts);
     }
     if fpva.valve_count() == 0 {
-        return Ok(PathCover { paths: Vec::new(), uncovered: Vec::new() });
+        return Ok(PathCover {
+            paths: Vec::new(),
+            uncovered: Vec::new(),
+        });
     }
     // Lower bound: a simple path crosses at most cell_count+1 sites.
     let lb = fpva.valve_count().div_ceil(fpva.cell_count() + 1).max(1);
@@ -241,9 +257,9 @@ pub fn min_path_cover_ilp(fpva: &Fpva, config: &PathIlpConfig) -> Result<PathCov
             stop_at_first: true,
             ..MilpOptions::default()
         });
-        let outcome = solver
-            .solve(&model)
-            .map_err(|e| AtpgError::Solver { reason: e.to_string() })?;
+        let outcome = solver.solve(&model).map_err(|e| AtpgError::Solver {
+            reason: e.to_string(),
+        })?;
         match outcome.status {
             SolveStatus::Optimal | SolveStatus::Feasible => {
                 let sol = outcome.best.expect("feasible outcome has incumbent");
@@ -251,7 +267,10 @@ pub fn min_path_cover_ilp(fpva: &Fpva, config: &PathIlpConfig) -> Result<PathCov
                     .iter()
                     .map(|pv| extract_path(fpva, &sol, pv))
                     .collect::<Result<Vec<_>, _>>()?;
-                return Ok(PathCover { paths, uncovered: Vec::new() });
+                return Ok(PathCover {
+                    paths,
+                    uncovered: Vec::new(),
+                });
             }
             SolveStatus::Infeasible => continue,
             SolveStatus::Unknown | SolveStatus::Unbounded => {
@@ -262,7 +281,10 @@ pub fn min_path_cover_ilp(fpva: &Fpva, config: &PathIlpConfig) -> Result<PathCov
     }
     Err(AtpgError::Solver {
         reason: if limited {
-            format!("no cover proven within limits up to {} paths", config.max_paths)
+            format!(
+                "no cover proven within limits up to {} paths",
+                config.max_paths
+            )
         } else {
             format!("no cover exists with up to {} paths", config.max_paths)
         },

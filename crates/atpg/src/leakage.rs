@@ -19,7 +19,9 @@
 //! keeps the extra-vector count in the order of the flow-path count, as in
 //! the paper's Table I (`n_l ≈ n_p`).
 
-use crate::connectivity::{path_through_edge, reachable_from, sink_cells, source_cells};
+use crate::connectivity::{
+    endpoint_ports, path_through_edge, reachable_from, sink_cells, source_cells,
+};
 use crate::error::AtpgError;
 use crate::path::FlowPath;
 use fpva_grid::{EdgeId, Fpva, PortId, ValveId};
@@ -36,8 +38,9 @@ use std::collections::HashSet;
 /// is the only route to the other, so closing one hides the other. The
 /// paper's pressure-metering methodology cannot test such a pair either.
 pub fn pair_untestable(fpva: &Fpva, actuator: ValveId, victim: ValveId) -> bool {
-    let blocked: HashSet<EdgeId> =
-        [fpva.edge_of(actuator), fpva.edge_of(victim)].into_iter().collect();
+    let blocked: HashSet<EdgeId> = [fpva.edge_of(actuator), fpva.edge_of(victim)]
+        .into_iter()
+        .collect();
     let from_sources = reachable_from(fpva, &source_cells(fpva), &blocked);
     let from_sinks = reachable_from(fpva, &sink_cells(fpva), &blocked);
     let (u, v) = fpva.edge_of(victim).endpoints();
@@ -71,7 +74,11 @@ fn ports(fpva: &Fpva) -> Result<(PortId, PortId), AtpgError> {
         .next()
         .map(|(id, _)| id)
         .ok_or(AtpgError::MissingPorts)?;
-    let sink = fpva.sinks().next().map(|(id, _)| id).ok_or(AtpgError::MissingPorts)?;
+    let sink = fpva
+        .sinks()
+        .next()
+        .map(|(id, _)| id)
+        .ok_or(AtpgError::MissingPorts)?;
     Ok((source, sink))
 }
 
@@ -87,13 +94,14 @@ pub fn leakage_vectors(
     seed: u64,
     tries: usize,
 ) -> Result<LeakageCover, AtpgError> {
-    let (source, sink) = ports(fpva)?;
-    let _ = (source, sink);
+    ports(fpva)?; // Fail fast when the chip has no source or no sink.
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Valve sets of the existing path vectors.
-    let mut path_sets: Vec<HashSet<ValveId>> =
-        flow_paths.iter().map(|p| p.valves(fpva).into_iter().collect()).collect();
+    let mut path_sets: Vec<HashSet<ValveId>> = flow_paths
+        .iter()
+        .map(|p| p.valves(fpva).into_iter().collect())
+        .collect();
 
     // A pair (a, b) is covered iff some path-shaped vector has b on the
     // path and a off it.
@@ -117,7 +125,8 @@ pub fn leakage_vectors(
         // Prefer steps that knock out other pending victims, so one extra
         // vector covers many pairs at once.
         let prefer = |e: EdgeId| {
-            fpva.valve_at(e).is_some_and(|v| todo.iter().any(|&(_, y)| y == v))
+            fpva.valve_at(e)
+                .is_some_and(|v| todo.iter().any(|&(_, y)| y == v))
         };
         // Escalate the retry budget before declaring the pair untestable:
         // routing around channels occasionally needs more restarts.
@@ -138,7 +147,10 @@ pub fn leakage_vectors(
             });
         match found {
             Some(cells) => {
-                let (src, snk) = ports(fpva)?;
+                // The search may terminate at any source/sink pair, so the
+                // ports must be read off the path itself.
+                let (src, snk) =
+                    endpoint_ports(fpva, &cells).expect("search endpoints are port cells");
                 let path = FlowPath::new(fpva, src, snk, cells)
                     .expect("search yields validated simple paths");
                 path_sets.push(path.valves(fpva).into_iter().collect());
@@ -151,7 +163,10 @@ pub fn leakage_vectors(
             }
         }
     }
-    Ok(LeakageCover { paths: extra_paths, uncovered_pairs: uncovered })
+    Ok(LeakageCover {
+        paths: extra_paths,
+        uncovered_pairs: uncovered,
+    })
 }
 
 #[cfg(test)]
@@ -171,7 +186,10 @@ mod tests {
         // of physically untestable leaks (4 pairs total).
         assert_eq!(leak.uncovered_pairs.len(), 4, "{:?}", leak.uncovered_pairs);
         for &(a, b) in &leak.uncovered_pairs {
-            assert!(pair_untestable(&f, a, b), "({a},{b}) reported but not certified");
+            assert!(
+                pair_untestable(&f, a, b),
+                "({a},{b}) reported but not certified"
+            );
         }
 
         // Ground truth via simulation: path + leak vectors detect every
@@ -180,7 +198,12 @@ mod tests {
         vectors.extend(leak.paths.iter().map(|p| p.to_vector(&f)));
         let suite = TestSuite::new(&f, vectors);
         let report = audit::leak_coverage(&f, &suite);
-        assert_eq!(report.undetected.len(), 4, "undetected: {:?}", report.undetected);
+        assert_eq!(
+            report.undetected.len(),
+            4,
+            "undetected: {:?}",
+            report.undetected
+        );
         for fault in &report.undetected {
             let fpva_sim::Fault::ControlLeak { actuator, victim } = fault else {
                 panic!("unexpected fault kind {fault:?}")
@@ -196,10 +219,17 @@ mod tests {
         let leak = leakage_vectors(&f, &cover.paths, 3, 48).unwrap();
         // Paper reports n_l = 4 for the 10x10; allow headroom but stay in
         // the same order of magnitude (not O(n_v)).
-        assert!(leak.paths.len() <= 24, "{} leakage vectors", leak.paths.len());
+        assert!(
+            leak.paths.len() <= 24,
+            "{} leakage vectors",
+            leak.paths.len()
+        );
         // Only the corner-pocket pairs may remain uncovered.
         for &(a, b) in &leak.uncovered_pairs {
-            assert!(pair_untestable(&f, a, b), "({a},{b}) reported but not certified");
+            assert!(
+                pair_untestable(&f, a, b),
+                "({a},{b}) reported but not certified"
+            );
         }
     }
 
@@ -220,7 +250,41 @@ mod tests {
             assert!(corner, "pair ({a},{b}) does not touch a corner pocket");
         }
         // And a clearly testable pair is not certified untestable.
-        assert!(!pair_untestable(&f, fpva_grid::ValveId(0), fpva_grid::ValveId(4)));
+        assert!(!pair_untestable(
+            &f,
+            fpva_grid::ValveId(0),
+            fpva_grid::ValveId(4)
+        ));
+    }
+
+    #[test]
+    fn multi_sink_chips_route_to_any_sink() {
+        // Regression: with more than one sink, the leakage search may end
+        // at a sink other than the chip's first; the generator used to
+        // pair every path with the first ports and panic on validation.
+        use fpva_grid::{FpvaBuilder, PortKind, Side};
+        let f = FpvaBuilder::new(6, 6)
+            .port(0, 0, Side::West, PortKind::Source)
+            .port(5, 5, Side::East, PortKind::Sink)
+            .port(5, 0, Side::South, PortKind::Sink)
+            .build()
+            .unwrap();
+        let cover = greedy_cover(&f, 7, 48).unwrap();
+        let leak = leakage_vectors(&f, &cover.paths, 3, 48).unwrap();
+        for &(a, b) in &leak.uncovered_pairs {
+            assert!(
+                pair_untestable(&f, a, b),
+                "({a},{b}) reported but not certified"
+            );
+        }
+        // Every generated extra path must end at one of the two sinks.
+        for p in &leak.paths {
+            let last = *p.cells().last().unwrap();
+            assert!(
+                f.sinks().any(|(_, port)| port.cell == last),
+                "path ends off-sink at {last}"
+            );
+        }
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Simple source→sink flow paths (Section III-A/B of the paper).
 
 use crate::error::AtpgError;
-use fpva_grid::{CellId, EdgeId, EdgeKind, Fpva, PortId, PortKind, TestVector, ValveId, ValveState};
+use fpva_grid::{
+    CellId, EdgeId, EdgeKind, Fpva, PortId, PortKind, TestVector, ValveId, ValveState,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -72,7 +74,10 @@ impl FlowPath {
         }
         for pair in cells.windows(2) {
             let Some(edge) = fpva.edge_between(pair[0], pair[1]) else {
-                return Err(invalid(format!("cells {} and {} are not adjacent", pair[0], pair[1])));
+                return Err(invalid(format!(
+                    "cells {} and {} are not adjacent",
+                    pair[0], pair[1]
+                )));
             };
             if fpva.edge_kind(edge) == EdgeKind::Wall {
                 return Err(invalid(format!("edge {edge} is a wall")));
@@ -85,11 +90,14 @@ impl FlowPath {
         let comps = crate::connectivity::open_components(fpva);
         if !crate::connectivity::components_contiguous(fpva, &comps, &cells) {
             return Err(invalid(
-                "path re-enters a transportation channel, creating a pressure bypass loop"
-                    .into(),
+                "path re-enters a transportation channel, creating a pressure bypass loop".into(),
             ));
         }
-        Ok(FlowPath { source, sink, cells })
+        Ok(FlowPath {
+            source,
+            sink,
+            cells,
+        })
     }
 
     /// The source port the path starts from.
@@ -128,7 +136,10 @@ impl FlowPath {
     /// The real valves traversed (edges of kind `Valve`), in order.
     /// Channel edges on the path carry no valve and are skipped.
     pub fn valves(&self, fpva: &Fpva) -> Vec<ValveId> {
-        self.edges(fpva).into_iter().filter_map(|e| fpva.valve_at(e)).collect()
+        self.edges(fpva)
+            .into_iter()
+            .filter_map(|e| fpva.valve_at(e))
+            .collect()
     }
 
     /// The test vector realising this path: path valves open, every other
@@ -144,7 +155,9 @@ impl FlowPath {
     /// Whether the path passes through the given valve.
     pub fn covers(&self, fpva: &Fpva, valve: ValveId) -> bool {
         let edge = fpva.edge_of(valve);
-        self.cells.windows(2).any(|p| fpva.edge_between(p[0], p[1]) == Some(edge))
+        self.cells
+            .windows(2)
+            .any(|p| fpva.edge_between(p[0], p[1]) == Some(edge))
     }
 }
 
@@ -171,8 +184,13 @@ mod tests {
     fn straight_diagonal_path() {
         let f = grid3();
         let (src, snk) = ports(&f);
-        let p = FlowPath::new(&f, src, snk, cells(&[(0, 0), (0, 1), (1, 1), (2, 1), (2, 2)]))
-            .expect("valid path");
+        let p = FlowPath::new(
+            &f,
+            src,
+            snk,
+            cells(&[(0, 0), (0, 1), (1, 1), (2, 1), (2, 2)]),
+        )
+        .expect("valid path");
         assert_eq!(p.len(), 5);
         assert_eq!(p.edges(&f).len(), 4);
         assert_eq!(p.valves(&f).len(), 4);

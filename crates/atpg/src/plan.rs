@@ -141,9 +141,10 @@ impl Atpg {
                 };
                 Ok((hierarchical_cover(fpva, &hc)?, "hierarchical"))
             }
-            PathEngine::Greedy => {
-                Ok((greedy_cover(fpva, self.config.seed, self.config.tries)?, "greedy"))
-            }
+            PathEngine::Greedy => Ok((
+                greedy_cover(fpva, self.config.seed, self.config.tries)?,
+                "greedy",
+            )),
             PathEngine::Ilp(ilp_config) => match min_path_cover_ilp(fpva, ilp_config) {
                 Ok(cover) => Ok((cover, "ilp")),
                 Err(AtpgError::Solver { .. }) => Ok((
@@ -189,7 +190,10 @@ impl Atpg {
             stats.t_leakage = t0.elapsed();
             leak
         } else {
-            crate::leakage::LeakageCover { paths: Vec::new(), uncovered_pairs: Vec::new() }
+            crate::leakage::LeakageCover {
+                paths: Vec::new(),
+                uncovered_pairs: Vec::new(),
+            }
         };
 
         Ok(TestPlan {
@@ -242,7 +246,10 @@ mod tests {
     #[test]
     fn greedy_engine_works() {
         let f = layouts::table1_5x5();
-        let config = AtpgConfig { path_engine: PathEngine::Greedy, ..Default::default() };
+        let config = AtpgConfig {
+            path_engine: PathEngine::Greedy,
+            ..Default::default()
+        };
         let plan = Atpg::with_config(config).generate(&f).unwrap();
         assert!(plan.untestable_open().is_empty());
         assert_eq!(plan.stats().path_engine_used, "greedy");
@@ -264,13 +271,19 @@ mod tests {
     #[test]
     fn missing_ports_rejected() {
         let f = fpva_grid::FpvaBuilder::new(3, 3).build().unwrap();
-        assert!(matches!(Atpg::new().generate(&f), Err(AtpgError::MissingPorts)));
+        assert!(matches!(
+            Atpg::new().generate(&f),
+            Err(AtpgError::MissingPorts)
+        ));
     }
 
     #[test]
     fn leakage_can_be_disabled() {
         let f = layouts::table1_5x5();
-        let config = AtpgConfig { leakage: false, ..Default::default() };
+        let config = AtpgConfig {
+            leakage: false,
+            ..Default::default()
+        };
         let plan = Atpg::with_config(config).generate(&f).unwrap();
         assert!(plan.leakage_paths().is_empty());
         assert_eq!(plan.stats().t_leakage, Duration::ZERO);

@@ -12,9 +12,13 @@ fn bench_propagation(c: &mut Criterion) {
     let mut group = c.benchmark_group("pressure_propagation_all_open");
     for entry in layouts::table1() {
         let vector = TestVector::all_open(entry.fpva.valve_count());
-        group.bench_with_input(BenchmarkId::from_parameter(entry.name), &entry.fpva, |b, f| {
-            b.iter(|| propagate(black_box(f), black_box(&vector), &FaultSet::new()));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(entry.name),
+            &entry.fpva,
+            |b, f| {
+                b.iter(|| propagate(black_box(f), black_box(&vector), &FaultSet::new()));
+            },
+        );
     }
     group.finish();
 }
@@ -25,7 +29,10 @@ fn bench_campaign(c: &mut Criterion) {
     for entry in layouts::table1().into_iter().take(3) {
         let plan = Atpg::new().generate(&entry.fpva).expect("valid layout");
         let suite = plan.to_suite(&entry.fpva);
-        let config = CampaignConfig { trials: 100, ..Default::default() };
+        let config = CampaignConfig {
+            trials: 100,
+            ..Default::default()
+        };
         group.bench_with_input(
             BenchmarkId::from_parameter(entry.name),
             &(entry.fpva, suite, config),

@@ -11,9 +11,13 @@ fn bench_exact_cover(c: &mut Criterion) {
     group.sample_size(10);
     for n in [2usize, 3] {
         let f = layouts::full_array(n, n);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{n}")), &f, |b, f| {
-            b.iter(|| min_path_cover_ilp(black_box(f), &PathIlpConfig::default()).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{n}")),
+            &f,
+            |b, f| {
+                b.iter(|| min_path_cover_ilp(black_box(f), &PathIlpConfig::default()).unwrap());
+            },
+        );
     }
     group.finish();
 }

@@ -13,9 +13,13 @@ fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_generation");
     group.sample_size(10);
     for entry in layouts::table1() {
-        group.bench_with_input(BenchmarkId::from_parameter(entry.name), &entry.fpva, |b, f| {
-            b.iter(|| Atpg::new().generate(black_box(f)).expect("valid layout"));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(entry.name),
+            &entry.fpva,
+            |b, f| {
+                b.iter(|| Atpg::new().generate(black_box(f)).expect("valid layout"));
+            },
+        );
     }
     group.finish();
 }

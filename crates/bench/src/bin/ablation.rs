@@ -19,12 +19,18 @@ use std::time::Instant;
 
 fn main() {
     println!("== Ablation 1: path engine (count, seconds) ==");
-    println!("{:<8} | {:>14} | {:>14} | {:>14}", "array", "hierarchical", "greedy", "ilp(<=4x4)");
+    println!(
+        "{:<8} | {:>14} | {:>14} | {:>14}",
+        "array", "hierarchical", "greedy", "ilp(<=5x5)"
+    );
     for entry in layouts::table1() {
         let mut row = format!("{:<8} |", entry.name);
         for engine in ["hier", "greedy", "ilp"] {
             let config = match engine {
-                "hier" => AtpgConfig { leakage: false, ..Default::default() },
+                "hier" => AtpgConfig {
+                    leakage: false,
+                    ..Default::default()
+                },
                 "greedy" => AtpgConfig {
                     path_engine: PathEngine::Greedy,
                     leakage: false,
@@ -43,12 +49,21 @@ fn main() {
                 continue;
             }
             let t0 = Instant::now();
-            let plan = Atpg::with_config(config).generate(&entry.fpva).expect("valid layout");
-            row.push_str(&format!(
-                " {:>3} in {:>6.2}s |",
-                plan.flow_paths().len(),
-                t0.elapsed().as_secs_f64()
-            ));
+            // The exact ILP may exhaust its per-probe time budget, in which
+            // case Atpg::generate silently substitutes the greedy cover
+            // (stats record the engine actually used); report that as a
+            // limit rather than mislabelling greedy numbers as ILP.
+            match Atpg::with_config(config).generate(&entry.fpva) {
+                Ok(plan) if engine == "ilp" && plan.stats().path_engine_used != "ilp" => {
+                    row.push_str(&format!(" limit {:>6.2}s |", t0.elapsed().as_secs_f64()));
+                }
+                Ok(plan) => row.push_str(&format!(
+                    " {:>3} in {:>6.2}s |",
+                    plan.flow_paths().len(),
+                    t0.elapsed().as_secs_f64()
+                )),
+                Err(_) => row.push_str(&format!(" error {:>6.2}s |", t0.elapsed().as_secs_f64())),
+            }
         }
         println!("{row}");
     }
@@ -74,9 +89,12 @@ fn main() {
     println!("\n== Ablation 3: control-leak coverage with/without leakage vectors ==");
     for entry in layouts::table1().into_iter().take(2) {
         let with = Atpg::new().generate(&entry.fpva).expect("valid layout");
-        let without = Atpg::with_config(AtpgConfig { leakage: false, ..Default::default() })
-            .generate(&entry.fpva)
-            .expect("valid layout");
+        let without = Atpg::with_config(AtpgConfig {
+            leakage: false,
+            ..Default::default()
+        })
+        .generate(&entry.fpva)
+        .expect("valid layout");
         let cov_with = audit::leak_coverage(&entry.fpva, &with.to_suite(&entry.fpva));
         let cov_without = audit::leak_coverage(&entry.fpva, &without.to_suite(&entry.fpva));
         println!(

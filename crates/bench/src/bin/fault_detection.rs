@@ -23,7 +23,10 @@ fn main() {
     for planned in plan_table1() {
         let e = &planned.entry;
         let suite = planned.plan.to_suite(&e.fpva);
-        let config = CampaignConfig { trials, ..Default::default() };
+        let config = CampaignConfig {
+            trials,
+            ..Default::default()
+        };
         let rows = campaign::run(&e.fpva, &suite, &config);
         let cells: Vec<String> = rows
             .iter()

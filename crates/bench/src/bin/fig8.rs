@@ -35,6 +35,9 @@ fn main() {
 
     let hier = hierarchical_cover(&f, &HierarchyConfig::default()).expect("ports exist");
     assert!(hier.is_complete(), "hierarchical cover incomplete");
-    println!("(b) hierarchical model (5x5 blocks): {} paths (paper: 4)", hier.paths.len());
+    println!(
+        "(b) hierarchical model (5x5 blocks): {} paths (paper: 4)",
+        hier.paths.len()
+    );
     println!("{}", render_paths(&f, &hier.paths));
 }

@@ -44,7 +44,10 @@ fn main() {
         // pairs; report any pair left without a certificate.
         for &(a, b) in p.untestable_pairs() {
             if !fpva_atpg::leakage::pair_untestable(&e.fpva, a, b) {
-                println!("  !! {}: leak pair ({a}, {b}) uncovered without certificate", e.name);
+                println!(
+                    "  !! {}: leak pair ({a}, {b}) uncovered without certificate",
+                    e.name
+                );
             }
         }
     }

@@ -97,7 +97,15 @@ impl Fpva {
                 edge_of_valve.push(indexer.edge(i));
             }
         }
-        Fpva { rows, cols, edge_kinds, cell_kinds, valve_of_edge, edge_of_valve, ports }
+        Fpva {
+            rows,
+            cols,
+            edge_kinds,
+            cell_kinds,
+            valve_of_edge,
+            edge_of_valve,
+            ports,
+        }
     }
 
     /// Number of cell rows.
@@ -126,7 +134,10 @@ impl Fpva {
     }
 
     pub(crate) fn indexer(&self) -> EdgeIndexer {
-        EdgeIndexer { rows: self.rows, cols: self.cols }
+        EdgeIndexer {
+            rows: self.rows,
+            cols: self.cols,
+        }
     }
 
     /// Dense index of an edge, in `0..edge_count()`.
@@ -191,13 +202,19 @@ impl Fpva {
 
     /// Iterates over every valve id together with its edge.
     pub fn valves(&self) -> impl Iterator<Item = (ValveId, EdgeId)> + '_ {
-        self.edge_of_valve.iter().enumerate().map(|(i, &e)| (ValveId(i), e))
+        self.edge_of_valve
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (ValveId(i), e))
     }
 
     /// Iterates over every internal edge with its kind.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, EdgeKind)> + '_ {
         let ix = self.indexer();
-        self.edge_kinds.iter().enumerate().map(move |(i, &k)| (ix.edge(i), k))
+        self.edge_kinds
+            .iter()
+            .enumerate()
+            .map(move |(i, &k)| (ix.edge(i), k))
     }
 
     /// Iterates over every cell id, row-major.
@@ -239,7 +256,9 @@ impl Fpva {
     pub fn neighbors(&self, cell: CellId) -> impl Iterator<Item = (EdgeId, CellId)> + '_ {
         Side::ALL.into_iter().filter_map(move |side| {
             let other = cell.neighbor(side, self.rows, self.cols)?;
-            let edge = self.edge_between(cell, other).expect("adjacent cells share an edge");
+            let edge = self
+                .edge_between(cell, other)
+                .expect("adjacent cells share an edge");
             Some((edge, other))
         })
     }
@@ -247,7 +266,11 @@ impl Fpva {
     /// The edge between two cells, or `None` when they are not orthogonally
     /// adjacent.
     pub fn edge_between(&self, a: CellId, b: CellId) -> Option<EdgeId> {
-        let (nw, se) = if (a.row, a.col) <= (b.row, b.col) { (a, b) } else { (b, a) };
+        let (nw, se) = if (a.row, a.col) <= (b.row, b.col) {
+            (a, b)
+        } else {
+            (b, a)
+        };
         if nw.row == se.row && nw.col + 1 == se.col {
             Some(EdgeId::horizontal(nw.row, nw.col))
         } else if nw.col == se.col && nw.row + 1 == se.row {
@@ -377,9 +400,18 @@ mod tests {
     fn edge_between_adjacency() {
         let f = full(3, 3);
         let a = CellId::new(1, 1);
-        assert_eq!(f.edge_between(a, CellId::new(1, 2)), Some(EdgeId::horizontal(1, 1)));
-        assert_eq!(f.edge_between(CellId::new(1, 2), a), Some(EdgeId::horizontal(1, 1)));
-        assert_eq!(f.edge_between(a, CellId::new(2, 1)), Some(EdgeId::vertical(1, 1)));
+        assert_eq!(
+            f.edge_between(a, CellId::new(1, 2)),
+            Some(EdgeId::horizontal(1, 1))
+        );
+        assert_eq!(
+            f.edge_between(CellId::new(1, 2), a),
+            Some(EdgeId::horizontal(1, 1))
+        );
+        assert_eq!(
+            f.edge_between(a, CellId::new(2, 1)),
+            Some(EdgeId::vertical(1, 1))
+        );
         assert_eq!(f.edge_between(a, CellId::new(2, 2)), None);
         assert_eq!(f.edge_between(a, a), None);
     }
@@ -407,7 +439,12 @@ mod tests {
         }
         // Consecutive boundary cells are orthogonally adjacent (it is a cycle).
         for w in b.windows(2) {
-            assert!(f.edge_between(w[0], w[1]).is_some(), "{} {} not adjacent", w[0], w[1]);
+            assert!(
+                f.edge_between(w[0], w[1]).is_some(),
+                "{} {} not adjacent",
+                w[0],
+                w[1]
+            );
         }
         assert!(f.edge_between(b[0], *b.last().unwrap()).is_some());
     }

@@ -49,7 +49,13 @@ impl FpvaBuilder {
     /// Starts a full `rows × cols` array with a valve on every internal
     /// edge and no ports.
     pub fn new(rows: usize, cols: usize) -> Self {
-        FpvaBuilder { rows, cols, channels: Vec::new(), obstacles: Vec::new(), ports: Vec::new() }
+        FpvaBuilder {
+            rows,
+            cols,
+            channels: Vec::new(),
+            obstacles: Vec::new(),
+            ports: Vec::new(),
+        }
     }
 
     /// Declares a horizontal transportation channel spanning the cells
@@ -91,7 +97,11 @@ impl FpvaBuilder {
     /// Declares a boundary port on cell `(row, col)` opening through chip
     /// side `side`.
     pub fn port(mut self, row: usize, col: usize, side: Side, kind: PortKind) -> Self {
-        self.ports.push(Port { cell: CellId::new(row, col), side, kind });
+        self.ports.push(Port {
+            cell: CellId::new(row, col),
+            side,
+            kind,
+        });
         self
     }
 
@@ -117,7 +127,11 @@ impl FpvaBuilder {
         // Obstacles first: they claim cells exclusively.
         for ob in &self.obstacles {
             if !in_bounds(ob.bottom_right) {
-                return Err(GridError::OutOfBounds { cell: ob.bottom_right, rows, cols });
+                return Err(GridError::OutOfBounds {
+                    cell: ob.bottom_right,
+                    rows,
+                    cols,
+                });
             }
             for r in ob.top_left.row..=ob.bottom_right.row {
                 for c in ob.top_left.col..=ob.bottom_right.col {
@@ -130,12 +144,12 @@ impl FpvaBuilder {
             }
         }
         // Every edge incident to an obstacle cell is a wall.
-        for i in 0..indexer.count() {
+        for (i, kind) in edge_kinds.iter_mut().enumerate() {
             let (a, b) = indexer.edge(i).endpoints();
             if cell_kinds[cell_ix(a)] == CellKind::Obstacle
                 || cell_kinds[cell_ix(b)] == CellKind::Obstacle
             {
-                edge_kinds[i] = EdgeKind::Wall;
+                *kind = EdgeKind::Wall;
             }
         }
 
@@ -180,22 +194,34 @@ impl FpvaBuilder {
         let mut seen: Vec<(CellId, Side)> = Vec::new();
         for p in &self.ports {
             if !in_bounds(p.cell) {
-                return Err(GridError::OutOfBounds { cell: p.cell, rows, cols });
+                return Err(GridError::OutOfBounds {
+                    cell: p.cell,
+                    rows,
+                    cols,
+                });
             }
             if p.cell.neighbor(p.side, rows, cols).is_some() {
                 // The side points at another cell, not off-chip.
-                return Err(GridError::PortNotOnBoundary { cell: p.cell, side: p.side });
+                return Err(GridError::PortNotOnBoundary {
+                    cell: p.cell,
+                    side: p.side,
+                });
             }
             if cell_kinds[cell_ix(p.cell)] == CellKind::Obstacle {
                 return Err(GridError::PortOnObstacle { cell: p.cell });
             }
             if seen.contains(&(p.cell, p.side)) {
-                return Err(GridError::DuplicatePort { cell: p.cell, side: p.side });
+                return Err(GridError::DuplicatePort {
+                    cell: p.cell,
+                    side: p.side,
+                });
             }
             seen.push((p.cell, p.side));
         }
 
-        Ok(Fpva::from_parts(rows, cols, edge_kinds, cell_kinds, self.ports))
+        Ok(Fpva::from_parts(
+            rows, cols, edge_kinds, cell_kinds, self.ports,
+        ))
     }
 }
 
@@ -207,13 +233,22 @@ mod tests {
 
     #[test]
     fn empty_array_rejected() {
-        assert_eq!(FpvaBuilder::new(0, 5).build().unwrap_err(), GridError::EmptyArray);
-        assert_eq!(FpvaBuilder::new(5, 0).build().unwrap_err(), GridError::EmptyArray);
+        assert_eq!(
+            FpvaBuilder::new(0, 5).build().unwrap_err(),
+            GridError::EmptyArray
+        );
+        assert_eq!(
+            FpvaBuilder::new(5, 0).build().unwrap_err(),
+            GridError::EmptyArray
+        );
     }
 
     #[test]
     fn channel_removes_valves() {
-        let f = FpvaBuilder::new(5, 5).channel_horizontal(2, 1, 3).build().unwrap();
+        let f = FpvaBuilder::new(5, 5)
+            .channel_horizontal(2, 1, 3)
+            .build()
+            .unwrap();
         assert_eq!(f.valve_count(), 40 - 2);
         assert_eq!(f.edge_kind(EdgeId::horizontal(2, 1)), EdgeKind::Open);
         assert_eq!(f.edge_kind(EdgeId::horizontal(2, 2)), EdgeKind::Open);
@@ -223,7 +258,10 @@ mod tests {
 
     #[test]
     fn vertical_channel_removes_valves() {
-        let f = FpvaBuilder::new(6, 4).channel_vertical(1, 0, 4).build().unwrap();
+        let f = FpvaBuilder::new(6, 4)
+            .channel_vertical(1, 0, 4)
+            .build()
+            .unwrap();
         assert_eq!(f.valve_count(), (6 * 3 + 5 * 4) - 4);
         assert_eq!(f.edge_kind(EdgeId::vertical(0, 1)), EdgeKind::Open);
         assert_eq!(f.edge_kind(EdgeId::vertical(3, 1)), EdgeKind::Open);
@@ -251,13 +289,19 @@ mod tests {
 
     #[test]
     fn channel_too_short() {
-        let err = FpvaBuilder::new(5, 5).channel_horizontal(0, 2, 2).build().unwrap_err();
+        let err = FpvaBuilder::new(5, 5)
+            .channel_horizontal(0, 2, 2)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, GridError::ChannelTooShort { .. }));
     }
 
     #[test]
     fn out_of_bounds_channel() {
-        let err = FpvaBuilder::new(5, 5).channel_horizontal(0, 3, 6).build().unwrap_err();
+        let err = FpvaBuilder::new(5, 5)
+            .channel_horizontal(0, 3, 6)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, GridError::OutOfBounds { .. }));
     }
 
@@ -273,8 +317,11 @@ mod tests {
 
     #[test]
     fn overlapping_obstacles_conflict() {
-        let err =
-            FpvaBuilder::new(5, 5).obstacle(1, 1, 2, 2).obstacle(2, 2, 3, 3).build().unwrap_err();
+        let err = FpvaBuilder::new(5, 5)
+            .obstacle(1, 1, 2, 2)
+            .obstacle(2, 2, 3, 3)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, GridError::RegionConflict { .. }));
     }
 
@@ -325,7 +372,10 @@ mod tests {
 
     #[test]
     fn one_by_one_array_builds() {
-        let f = FpvaBuilder::new(1, 1).port(0, 0, Side::West, PortKind::Source).build().unwrap();
+        let f = FpvaBuilder::new(1, 1)
+            .port(0, 0, Side::West, PortKind::Source)
+            .build()
+            .unwrap();
         assert_eq!(f.valve_count(), 0);
         assert_eq!(f.cell_count(), 1);
     }

@@ -59,13 +59,19 @@ impl fmt::Display for GridError {
                 write!(f, "cell {cell} is outside the {rows}x{cols} array")
             }
             GridError::ChannelTooShort { start } => {
-                write!(f, "channel starting at {start} must span at least two cells")
+                write!(
+                    f,
+                    "channel starting at {start} must span at least two cells"
+                )
             }
             GridError::RegionConflict { cell } => {
                 write!(f, "conflicting channel/obstacle features at cell {cell}")
             }
             GridError::PortNotOnBoundary { cell, side } => {
-                write!(f, "port at {cell} side {side} does not open through the chip boundary")
+                write!(
+                    f,
+                    "port at {cell} side {side} does not open through the chip boundary"
+                )
             }
             GridError::PortOnObstacle { cell } => {
                 write!(f, "port at {cell} is placed on an obstacle cell")

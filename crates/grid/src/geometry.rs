@@ -122,12 +122,18 @@ pub struct EdgeId {
 impl EdgeId {
     /// Horizontal edge between `(row, col)` and `(row, col + 1)`.
     pub const fn horizontal(row: usize, col: usize) -> Self {
-        EdgeId { cell: CellId::new(row, col), axis: Axis::Horizontal }
+        EdgeId {
+            cell: CellId::new(row, col),
+            axis: Axis::Horizontal,
+        }
     }
 
     /// Vertical edge between `(row, col)` and `(row + 1, col)`.
     pub const fn vertical(row: usize, col: usize) -> Self {
-        EdgeId { cell: CellId::new(row, col), axis: Axis::Vertical }
+        EdgeId {
+            cell: CellId::new(row, col),
+            axis: Axis::Vertical,
+        }
     }
 
     /// The two cells joined by this edge.

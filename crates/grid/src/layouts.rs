@@ -35,9 +35,12 @@ pub struct Table1Entry {
 }
 
 fn corner_ports(builder: FpvaBuilder, rows: usize, cols: usize) -> FpvaBuilder {
-    builder
-        .port(0, 0, Side::West, PortKind::Source)
-        .port(rows - 1, cols - 1, Side::East, PortKind::Sink)
+    builder.port(0, 0, Side::West, PortKind::Source).port(
+        rows - 1,
+        cols - 1,
+        Side::East,
+        PortKind::Sink,
+    )
 }
 
 /// A full `rows × cols` array (no channels or obstacles) with corner ports.
@@ -68,9 +71,13 @@ pub fn table1_10x10() -> Fpva {
 
 /// Table I row 3: 15×15 array, 411 valves (one long channel).
 pub fn table1_15x15() -> Fpva {
-    corner_ports(FpvaBuilder::new(15, 15).channel_horizontal(7, 2, 11), 15, 15)
-        .build()
-        .expect("15x15 layout is valid")
+    corner_ports(
+        FpvaBuilder::new(15, 15).channel_horizontal(7, 2, 11),
+        15,
+        15,
+    )
+    .build()
+    .expect("15x15 layout is valid")
 }
 
 /// Table I row 4: 20×20 array, 744 valves — three channels and two
@@ -190,10 +197,15 @@ mod tests {
     #[test]
     fn twenty_has_three_channels_two_obstacles() {
         let f = table1_20x20();
-        let obstacle_cells =
-            f.cells().filter(|&c| f.cell_kind(c) == CellKind::Obstacle).count();
+        let obstacle_cells = f
+            .cells()
+            .filter(|&c| f.cell_kind(c) == CellKind::Obstacle)
+            .count();
         assert_eq!(obstacle_cells, 2);
-        let channel_cells = f.cells().filter(|&c| f.cell_kind(c) == CellKind::Channel).count();
+        let channel_cells = f
+            .cells()
+            .filter(|&c| f.cell_kind(c) == CellKind::Channel)
+            .count();
         assert_eq!(channel_cells, 4 + 4 + 3);
     }
 

@@ -108,7 +108,9 @@ pub fn render_with(fpva: &Fpva, decor: &Decor) -> String {
     }
     // Internal edges.
     for (edge, kind) in fpva.edges() {
-        let ch = decor.edge_mark(edge).unwrap_or_else(|| structural_edge_char(kind, edge.axis));
+        let ch = decor
+            .edge_mark(edge)
+            .unwrap_or_else(|| structural_edge_char(kind, edge.axis));
         let (x, y) = match edge.axis {
             Axis::Horizontal => (2 * edge.cell.row + 1, 2 * edge.cell.col + 2),
             Axis::Vertical => (2 * edge.cell.row + 2, 2 * edge.cell.col + 1),
@@ -178,7 +180,10 @@ mod tests {
         d.mark_cell(CellId::new(0, 0), '1');
         d.mark_edge(EdgeId::horizontal(0, 0), '1');
         let art = render_with(&f, &d);
-        assert!(art.lines().nth(1).unwrap().starts_with("S11"), "overlay missing:\n{art}");
+        assert!(
+            art.lines().nth(1).unwrap().starts_with("S11"),
+            "overlay missing:\n{art}"
+        );
         assert_eq!(d.cell_mark(CellId::new(0, 0)), Some('1'));
         assert_eq!(d.edge_mark(EdgeId::horizontal(0, 0)), Some('1'));
         assert_eq!(d.cell_mark(CellId::new(1, 1)), None);

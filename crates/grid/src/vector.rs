@@ -73,12 +73,18 @@ pub struct TestVector {
 impl TestVector {
     /// A vector commanding every one of `valve_count` valves closed.
     pub fn all_closed(valve_count: usize) -> Self {
-        TestVector { len: valve_count, bits: vec![0; valve_count.div_ceil(64)] }
+        TestVector {
+            len: valve_count,
+            bits: vec![0; valve_count.div_ceil(64)],
+        }
     }
 
     /// A vector commanding every one of `valve_count` valves open.
     pub fn all_open(valve_count: usize) -> Self {
-        let mut v = TestVector { len: valve_count, bits: vec![!0u64; valve_count.div_ceil(64)] };
+        let mut v = TestVector {
+            len: valve_count,
+            bits: vec![!0u64; valve_count.div_ceil(64)],
+        };
         v.clear_tail();
         v
     }
@@ -111,7 +117,11 @@ impl TestVector {
     ///
     /// Panics if `id` is out of range.
     pub fn state(&self, id: ValveId) -> ValveState {
-        assert!(id.0 < self.len, "valve {id} out of range (len {})", self.len);
+        assert!(
+            id.0 < self.len,
+            "valve {id} out of range (len {})",
+            self.len
+        );
         if self.bits[id.0 / 64] >> (id.0 % 64) & 1 == 1 {
             ValveState::Open
         } else {
@@ -134,7 +144,11 @@ impl TestVector {
     ///
     /// Panics if `id` is out of range.
     pub fn set(&mut self, id: ValveId, state: ValveState) {
-        assert!(id.0 < self.len, "valve {id} out of range (len {})", self.len);
+        assert!(
+            id.0 < self.len,
+            "valve {id} out of range (len {})",
+            self.len
+        );
         let mask = 1u64 << (id.0 % 64);
         match state {
             ValveState::Open => self.bits[id.0 / 64] |= mask,

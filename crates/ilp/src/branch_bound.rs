@@ -3,7 +3,7 @@
 use crate::error::IlpError;
 use crate::model::{Model, Sense, VarKind};
 use crate::simplex::{self, LpProblem, LpRow, LpStatus};
-use crate::solution::{MilpOutcome, SolveStats, SolveStatus, Solution};
+use crate::solution::{MilpOutcome, Solution, SolveStats, SolveStatus};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`MilpSolver`].
@@ -92,6 +92,9 @@ impl MilpSolver {
     pub fn solve(&self, model: &Model) -> Result<MilpOutcome, IlpError> {
         model.validate()?;
         let start = Instant::now();
+        // Hard wall-clock deadline, enforced down inside the simplex pivot
+        // loop — the per-node check alone cannot stop a long single LP.
+        let deadline = self.options.time_limit.map(|limit| start + limit);
         let n = model.var_count();
         let sign = match model.sense() {
             Sense::Minimize => 1.0,
@@ -127,7 +130,10 @@ impl MilpSolver {
 
         let mut stats = SolveStats::default();
         let mut incumbent: Option<(f64, Vec<f64>)> = None; // (min-form obj, values)
-        let mut cutoff = self.options.initial_incumbent.map_or(f64::INFINITY, |u| sign * u);
+        let mut cutoff = self
+            .options
+            .initial_incumbent
+            .map_or(f64::INFINITY, |u| sign * u);
         let mut root_bound = f64::NEG_INFINITY;
         let mut lp_failures = 0usize;
         let mut hit_limit = false;
@@ -154,7 +160,7 @@ impl MilpSolver {
                 lower,
                 upper,
             };
-            let sol = simplex::solve(&lp);
+            let sol = simplex::solve_with_deadline(&lp, deadline);
             stats.lp_iterations += sol.iterations;
             match sol.status {
                 LpStatus::Infeasible => continue,
@@ -180,16 +186,19 @@ impl MilpSolver {
             }
             // Bound pruning.
             let node_bound = sol.objective;
-            let prune_threshold =
-                if integral_objective { cutoff - 1.0 + 1e-6 } else { cutoff - 1e-9 };
+            let prune_threshold = if integral_objective {
+                cutoff - 1.0 + 1e-6
+            } else {
+                cutoff - 1e-9
+            };
             if node_bound > prune_threshold {
                 continue;
             }
 
             // Most fractional integer variable.
             let mut branch: Option<(usize, f64, f64)> = None; // (var, value, frac-distance)
-            for j in 0..n {
-                if !is_int[j] {
+            for (j, &integer_var) in is_int.iter().enumerate().take(n) {
+                if !integer_var {
                     continue;
                 }
                 let v = sol.x[j];
@@ -206,8 +215,11 @@ impl MilpSolver {
                         *x = x.round();
                     }
                 }
-                let min_obj: f64 =
-                    objective.iter().zip(&values).map(|(c, x)| c * x).sum::<f64>();
+                let min_obj: f64 = objective
+                    .iter()
+                    .zip(&values)
+                    .map(|(c, x)| c * x)
+                    .sum::<f64>();
                 if min_obj < cutoff - 1e-9 {
                     cutoff = min_obj;
                     incumbent = Some((min_obj, values));
@@ -251,7 +263,11 @@ impl MilpSolver {
         } else {
             sign * root_bound + obj_constant
         };
-        Ok(MilpOutcome { status, best, stats })
+        Ok(MilpOutcome {
+            status,
+            best,
+            stats,
+        })
     }
 }
 
@@ -321,10 +337,17 @@ mod tests {
     #[test]
     fn set_cover() {
         // Universe {0..5}; sets: {0,1,2}, {1,3}, {2,4}, {3,4,5}, {0,5}.
-        let sets: Vec<Vec<usize>> =
-            vec![vec![0, 1, 2], vec![1, 3], vec![2, 4], vec![3, 4, 5], vec![0, 5]];
+        let sets: Vec<Vec<usize>> = vec![
+            vec![0, 1, 2],
+            vec![1, 3],
+            vec![2, 4],
+            vec![3, 4, 5],
+            vec![0, 5],
+        ];
         let mut m = Model::new(Sense::Minimize);
-        let xs: Vec<_> = (0..sets.len()).map(|i| m.binary_var(format!("s{i}"))).collect();
+        let xs: Vec<_> = (0..sets.len())
+            .map(|i| m.binary_var(format!("s{i}")))
+            .collect();
         for e in 0..6 {
             let mut cover = LinExpr::new();
             for (i, s) in sets.iter().enumerate() {
@@ -418,7 +441,10 @@ mod tests {
             ..MilpOptions::default()
         });
         let out = solver.solve(&m).unwrap();
-        assert!(matches!(out.status, SolveStatus::Feasible | SolveStatus::Unknown));
+        assert!(matches!(
+            out.status,
+            SolveStatus::Feasible | SolveStatus::Unknown
+        ));
         assert!(out.stats.nodes <= 1);
     }
 
@@ -435,7 +461,10 @@ mod tests {
         // With an integral objective and cutoff 1, nodes with bound > 0+eps
         // are pruned; the solver may end with no *stored* incumbent but
         // proven optimality means the cutoff was not beaten.
-        assert!(matches!(out.status, SolveStatus::Optimal | SolveStatus::Infeasible));
+        assert!(matches!(
+            out.status,
+            SolveStatus::Optimal | SolveStatus::Infeasible
+        ));
     }
 
     #[test]

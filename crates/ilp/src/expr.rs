@@ -49,7 +49,10 @@ impl LinExpr {
 
     /// An expression consisting of a constant only.
     pub fn constant_expr(c: f64) -> Self {
-        LinExpr { terms: BTreeMap::new(), constant: c }
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
     }
 
     /// Adds `coeff · var` to the expression.

@@ -52,4 +52,4 @@ pub use branch_bound::{MilpOptions, MilpSolver};
 pub use error::IlpError;
 pub use expr::{LinExpr, VarId};
 pub use model::{ConstraintOp, Model, Sense, VarKind};
-pub use solution::{MilpOutcome, SolveStats, SolveStatus, Solution};
+pub use solution::{MilpOutcome, Solution, SolveStats, SolveStatus};

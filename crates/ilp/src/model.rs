@@ -72,7 +72,12 @@ pub struct Model {
 impl Model {
     /// An empty model with the given optimisation direction.
     pub fn new(sense: Sense) -> Self {
-        Model { sense, vars: Vec::new(), constraints: Vec::new(), objective: LinExpr::new() }
+        Model {
+            sense,
+            vars: Vec::new(),
+            constraints: Vec::new(),
+            objective: LinExpr::new(),
+        }
     }
 
     /// Adds a binary (0/1) variable.
@@ -101,7 +106,10 @@ impl Model {
 
     fn push_var(&mut self, name: String, kind: VarKind, lb: f64, ub: f64) -> VarId {
         assert!(!lb.is_nan() && !ub.is_nan(), "variable {name}: NaN bound");
-        assert!(lb.is_finite(), "variable {name}: lower bound must be finite");
+        assert!(
+            lb.is_finite(),
+            "variable {name}: lower bound must be finite"
+        );
         assert!(lb <= ub, "variable {name}: empty domain [{lb}, {ub}]");
         let id = VarId(self.vars.len());
         self.vars.push(VarDef { name, kind, lb, ub });
@@ -115,7 +123,11 @@ impl Model {
         let c = expr.constant();
         let mut e = expr;
         e.add_constant(-c);
-        self.constraints.push(Constraint { expr: e, op, rhs: rhs - c });
+        self.constraints.push(Constraint {
+            expr: e,
+            op,
+            rhs: rhs - c,
+        });
     }
 
     /// Adds `expr ≤ rhs`.
@@ -199,7 +211,8 @@ impl Model {
     pub(crate) fn objective_is_integral(&self) -> bool {
         self.objective.constant().fract() == 0.0
             && self.objective.terms().all(|(v, c)| {
-                c.fract() == 0.0 && matches!(self.vars[v.0].kind, VarKind::Binary | VarKind::Integer)
+                c.fract() == 0.0
+                    && matches!(self.vars[v.0].kind, VarKind::Binary | VarKind::Integer)
             })
     }
 
@@ -213,7 +226,9 @@ impl Model {
         let n = self.vars.len();
         let check = |e: &LinExpr, what: &str| -> Result<(), IlpError> {
             if !e.is_finite() {
-                return Err(IlpError::BadModel(format!("{what}: non-finite coefficient")));
+                return Err(IlpError::BadModel(format!(
+                    "{what}: non-finite coefficient"
+                )));
             }
             if let Some((v, _)) = e.terms().find(|(v, _)| v.0 >= n) {
                 return Err(IlpError::BadModel(format!("{what}: unknown variable {v}")));
@@ -224,7 +239,9 @@ impl Model {
         for (i, c) in self.constraints.iter().enumerate() {
             check(&c.expr, &format!("constraint #{i}"))?;
             if !c.rhs.is_finite() {
-                return Err(IlpError::BadModel(format!("constraint #{i}: non-finite rhs")));
+                return Err(IlpError::BadModel(format!(
+                    "constraint #{i}: non-finite rhs"
+                )));
             }
         }
         Ok(())

@@ -116,12 +116,28 @@ impl Tableau {
     }
 
     /// Runs the pivot loop; `allowed` filters columns that may enter.
-    fn optimize(&mut self, allowed: impl Fn(usize) -> bool, max_iters: usize) -> LpStatus {
+    fn optimize(
+        &mut self,
+        allowed: impl Fn(usize) -> bool,
+        max_iters: usize,
+        deadline: Option<std::time::Instant>,
+    ) -> LpStatus {
         let bland_after = 200 + 20 * self.m;
         let mut local_iters = 0usize;
         loop {
             if local_iters > max_iters {
                 return LpStatus::IterationLimit;
+            }
+            // A single dense pivot on a large tableau is expensive, so a
+            // caller's wall-clock budget has to be enforced *inside* the
+            // pivot loop — checking only between branch-and-bound nodes
+            // lets one LP overshoot the limit by minutes.
+            if local_iters.is_multiple_of(128) {
+                if let Some(d) = deadline {
+                    if std::time::Instant::now() >= d {
+                        return LpStatus::IterationLimit;
+                    }
+                }
             }
             let use_bland = local_iters > bland_after;
             // Entering column.
@@ -179,10 +195,24 @@ impl Tableau {
 /// not finite, or a coefficient is NaN (callers are expected to validate
 /// with [`crate::Model::validate`] first).
 pub fn solve(p: &LpProblem) -> LpSolution {
+    solve_with_deadline(p, None)
+}
+
+/// Like [`solve`], but gives up with [`LpStatus::IterationLimit`] once
+/// `deadline` passes (checked inside the pivot loop, so a single large LP
+/// cannot overshoot a caller's wall-clock budget).
+///
+/// # Panics
+///
+/// Same contract as [`solve`].
+pub fn solve_with_deadline(p: &LpProblem, deadline: Option<std::time::Instant>) -> LpSolution {
     let n = p.objective.len();
     assert_eq!(p.lower.len(), n, "lower bound count mismatch");
     assert_eq!(p.upper.len(), n, "upper bound count mismatch");
-    assert!(p.lower.iter().all(|l| l.is_finite()), "lower bounds must be finite");
+    assert!(
+        p.lower.iter().all(|l| l.is_finite()),
+        "lower bounds must be finite"
+    );
 
     // Shift variables: x = x' + l, x' >= 0. Collect all rows, including
     // upper-bound rows, as (coeffs, op, rhs) over x'.
@@ -194,12 +224,20 @@ pub fn solve(p: &LpProblem) -> LpSolution {
     let mut rows: Vec<Row> = Vec::with_capacity(p.rows.len() + n);
     for row in &p.rows {
         let shift: f64 = row.coeffs.iter().map(|&(j, a)| a * p.lower[j]).sum();
-        rows.push(Row { coeffs: row.coeffs.clone(), op: row.op, rhs: row.rhs - shift });
+        rows.push(Row {
+            coeffs: row.coeffs.clone(),
+            op: row.op,
+            rhs: row.rhs - shift,
+        });
     }
     for j in 0..n {
         if p.upper[j].is_finite() {
             let span = p.upper[j] - p.lower[j];
-            rows.push(Row { coeffs: vec![(j, 1.0)], op: ConstraintOp::Leq, rhs: span });
+            rows.push(Row {
+                coeffs: vec![(j, 1.0)],
+                op: ConstraintOp::Leq,
+                rhs: span,
+            });
         }
     }
 
@@ -290,7 +328,7 @@ pub fn solve(p: &LpProblem) -> LpSolution {
                 }
             }
         }
-        let status = t.optimize(|_| true, max_iters);
+        let status = t.optimize(|_| true, max_iters, deadline);
         if status == LpStatus::IterationLimit {
             return LpSolution {
                 status,
@@ -344,9 +382,14 @@ pub fn solve(p: &LpProblem) -> LpSolution {
             }
         }
     }
-    let status = t.optimize(|c| c < art_start, max_iters);
+    let status = t.optimize(|c| c < art_start, max_iters, deadline);
     if status != LpStatus::Optimal {
-        return LpSolution { status, x: vec![0.0; n], objective: f64::NAN, iterations: t.iterations };
+        return LpSolution {
+            status,
+            x: vec![0.0; n],
+            objective: f64::NAN,
+            iterations: t.iterations,
+        };
     }
 
     // Extract the primal point.
@@ -358,7 +401,12 @@ pub fn solve(p: &LpProblem) -> LpSolution {
         }
     }
     let objective = p.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
-    LpSolution { status: LpStatus::Optimal, x, objective, iterations: t.iterations }
+    LpSolution {
+        status: LpStatus::Optimal,
+        x,
+        objective,
+        iterations: t.iterations,
+    }
 }
 
 #[cfg(test)]
@@ -366,7 +414,11 @@ mod tests {
     use super::*;
 
     fn row(coeffs: &[(usize, f64)], op: ConstraintOp, rhs: f64) -> LpRow {
-        LpRow { coeffs: coeffs.to_vec(), op, rhs }
+        LpRow {
+            coeffs: coeffs.to_vec(),
+            op,
+            rhs,
+        }
     }
 
     #[test]
@@ -384,7 +436,11 @@ mod tests {
         };
         let s = solve(&p);
         assert_eq!(s.status, LpStatus::Optimal);
-        assert!((s.objective - (-36.0)).abs() < 1e-6, "objective {}", s.objective);
+        assert!(
+            (s.objective - (-36.0)).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
         assert!((s.x[0] - 2.0).abs() < 1e-6 && (s.x[1] - 6.0).abs() < 1e-6);
     }
 
@@ -470,7 +526,11 @@ mod tests {
         };
         let s = solve(&p);
         assert_eq!(s.status, LpStatus::Optimal);
-        assert!((s.objective - 3.0).abs() < 1e-6, "objective {}", s.objective);
+        assert!(
+            (s.objective - 3.0).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
     }
 
     #[test]
@@ -496,16 +556,32 @@ mod tests {
         let p = LpProblem {
             objective: vec![-0.75, 150.0, -0.02, 6.0],
             rows: vec![
-                row(&[(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], ConstraintOp::Leq, 0.0),
-                row(&[(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], ConstraintOp::Leq, 0.0),
+                row(
+                    &[(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
+                    ConstraintOp::Leq,
+                    0.0,
+                ),
+                row(
+                    &[(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
+                    ConstraintOp::Leq,
+                    0.0,
+                ),
                 row(&[(2, 1.0)], ConstraintOp::Leq, 1.0),
             ],
             lower: vec![0.0; 4],
             upper: vec![f64::INFINITY; 4],
         };
         let s = solve(&p);
-        assert_eq!(s.status, LpStatus::Optimal, "Beale's example must terminate");
-        assert!((s.objective - (-0.05)).abs() < 1e-6, "objective {}", s.objective);
+        assert_eq!(
+            s.status,
+            LpStatus::Optimal,
+            "Beale's example must terminate"
+        );
+        assert!(
+            (s.objective - (-0.05)).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
     }
 
     #[test]

@@ -126,7 +126,10 @@ pub fn two_fault_audit_sampled(
             undetected.push(pair);
         }
     }
-    CoverageReport { total: samples, undetected }
+    CoverageReport {
+        total: samples,
+        undetected,
+    }
 }
 
 #[cfg(test)]
@@ -212,7 +215,12 @@ mod tests {
         // the victim's drag-closure changes nothing. The audit must report
         // all four pairs as undetected (and the campaign generator skips
         // such pairs via `leak_is_observable`).
-        assert_eq!(report.undetected.len(), 4, "undetected: {:?}", report.undetected);
+        assert_eq!(
+            report.undetected.len(),
+            4,
+            "undetected: {:?}",
+            report.undetected
+        );
         for (a, _) in f.valves() {
             for b in f.valve_neighbors(a) {
                 assert!(
@@ -225,7 +233,10 @@ mod tests {
 
     #[test]
     fn empty_report_coverage_is_one() {
-        let report: CoverageReport<Fault> = CoverageReport { total: 0, undetected: vec![] };
+        let report: CoverageReport<Fault> = CoverageReport {
+            total: 0,
+            undetected: vec![],
+        };
         assert_eq!(report.coverage(), 1.0);
     }
 }

@@ -6,7 +6,6 @@
 //! on a [`TestSuite`].
 
 use crate::fault::{Fault, FaultSet};
-use crate::pressure::propagate;
 use crate::suite::TestSuite;
 use fpva_grid::{Fpva, TestVector, ValveId, ValveState};
 use rand::rngs::StdRng;
@@ -20,42 +19,63 @@ use rand::{Rng, SeedableRng};
 /// included.
 pub fn leak_is_observable(fpva: &Fpva, actuator: ValveId, victim: ValveId) -> bool {
     // Close actuator and victim, open everything else; check that the two
-    // endpoint cells of the victim straddle the sources and sinks.
+    // endpoint cells of the victim straddle the sources and sinks. One
+    // vector serves both the forward propagation and the reverse search —
+    // the graph is undirected, so "some sink reaches `cell`" and "`cell`
+    // reaches some sink" coincide. (The former code rebuilt the vector
+    // and a fresh visited buffer per sink, per endpoint — O(sinks ×
+    // valves) allocations per injected leak on the Table I campaigns.)
     let mut vector = TestVector::all_open(fpva.valve_count());
     vector.set(actuator, ValveState::Closed);
     vector.set(victim, ValveState::Closed);
-    let pressure = propagate(fpva, &vector, &FaultSet::new());
-    // Reachability from the sinks: rerun with roles swapped is not
-    // directly supported, so approximate with a reverse propagation by
-    // checking which endpoint the sinks can reach on the same open chip.
     let (u, v) = fpva.edge_of(victim).endpoints();
-    let sink_side = |cell: fpva_grid::CellId| {
-        fpva.sinks().any(|(_, p)| {
-            // BFS from each sink over the same vector.
-            let mut sv = TestVector::all_open(fpva.valve_count());
-            sv.set(actuator, ValveState::Closed);
-            sv.set(victim, ValveState::Closed);
-            reverse_reach(fpva, p.cell, &sv, cell)
-        })
-    };
-    (pressure.at(u) && sink_side(v)) || (pressure.at(v) && sink_side(u))
+    // Source side: a goal-directed BFS that stops once both victim
+    // endpoints are resolved (a fault-free `propagate` is exactly
+    // open-edge reachability from the sources, but floods every cell).
+    let sources: Vec<_> = fpva.sources().map(|(_, p)| p.cell).collect();
+    let (mut at_u, mut at_v) = (false, false);
+    bfs_visit(fpva, &sources, &vector, |cell| {
+        at_u |= cell == u;
+        at_v |= cell == v;
+        at_u && at_v
+    });
+    // Which victim endpoints the source side pressurises decides which
+    // the sink side still has to reach.
+    let (need_v, need_u) = (at_u, at_v);
+    if !need_u && !need_v {
+        return false;
+    }
+    // Sink side: one multi-source BFS over the same vector, stopping as
+    // soon as a needed endpoint is reached.
+    let sinks: Vec<_> = fpva.sinks().map(|(_, p)| p.cell).collect();
+    let mut observable = false;
+    bfs_visit(fpva, &sinks, &vector, |cell| {
+        observable = (need_v && cell == v) || (need_u && cell == u);
+        observable
+    });
+    observable
 }
 
-/// BFS from `start` over a vector's open edges; `true` when `goal` is
-/// reached.
-fn reverse_reach(
+/// Multi-source BFS from `starts` over a vector's open edges, invoking
+/// `visit` on every dequeued cell; stops early once `visit` returns `true`.
+fn bfs_visit(
     fpva: &Fpva,
-    start: fpva_grid::CellId,
+    starts: &[fpva_grid::CellId],
     vector: &TestVector,
-    goal: fpva_grid::CellId,
-) -> bool {
+    mut visit: impl FnMut(fpva_grid::CellId) -> bool,
+) {
     let mut seen = vec![false; fpva.cell_count()];
     let mut queue = std::collections::VecDeque::new();
-    seen[fpva.cell_index(start)] = true;
-    queue.push_back(start);
+    for &s in starts {
+        let ix = fpva.cell_index(s);
+        if !seen[ix] {
+            seen[ix] = true;
+            queue.push_back(s);
+        }
+    }
     while let Some(cell) = queue.pop_front() {
-        if cell == goal {
-            return true;
+        if visit(cell) {
+            return;
         }
         for (edge, next) in fpva.neighbors(cell) {
             if fpva.edge_is_open(edge, vector) && !seen[fpva.cell_index(next)] {
@@ -64,7 +84,6 @@ fn reverse_reach(
             }
         }
     }
-    false
 }
 
 /// Parameters of a fault-injection campaign.
@@ -86,7 +105,7 @@ impl Default for CampaignConfig {
         CampaignConfig {
             trials: 10_000,
             fault_counts: vec![1, 2, 3, 4, 5],
-            seed: 0xF9_7A_2017,
+            seed: 0xF97A_2017,
             include_control_leaks: true,
         }
     }
@@ -150,7 +169,11 @@ pub fn random_fault_set(
             attempts < 10_000 * (count + 1),
             "unable to build {count} compatible faults; array too small?"
         );
-        let kind = if include_control_leaks { rng.gen_range(0..5) } else { rng.gen_range(0..4) };
+        let kind = if include_control_leaks {
+            rng.gen_range(0..5)
+        } else {
+            rng.gen_range(0..4)
+        };
         let valve = ValveId(rng.gen_range(0..nv));
         let fault = match kind {
             0 | 1 => Fault::StuckAt0(valve),
@@ -164,7 +187,10 @@ pub fn random_fault_set(
                 if !leak_is_observable(fpva, valve, victim) {
                     continue;
                 }
-                Fault::ControlLeak { actuator: valve, victim }
+                Fault::ControlLeak {
+                    actuator: valve,
+                    victim,
+                }
             }
         };
         if faults.contains(&fault) {
@@ -207,7 +233,12 @@ pub fn run(fpva: &Fpva, suite: &TestSuite, config: &CampaignConfig) -> Vec<Campa
                     escapes.push(faults);
                 }
             }
-            CampaignRow { fault_count, trials: config.trials, detected, escapes }
+            CampaignRow {
+                fault_count,
+                trials: config.trials,
+                detected,
+                escapes,
+            }
         })
         .collect()
 }
@@ -243,9 +274,16 @@ mod tests {
         let f = layouts::table1_5x5();
         let suite = TestSuite::new(
             &f,
-            vec![TestVector::all_open(f.valve_count()), TestVector::all_closed(f.valve_count())],
+            vec![
+                TestVector::all_open(f.valve_count()),
+                TestVector::all_closed(f.valve_count()),
+            ],
         );
-        let config = CampaignConfig { trials: 50, fault_counts: vec![1, 2], ..Default::default() };
+        let config = CampaignConfig {
+            trials: 50,
+            fault_counts: vec![1, 2],
+            ..Default::default()
+        };
         let a = run(&f, &suite, &config);
         let b = run(&f, &suite, &config);
         assert_eq!(a, b);
@@ -258,7 +296,11 @@ mod tests {
         // A suite with no vectors detects nothing.
         let f = layouts::table1_5x5();
         let suite = TestSuite::new(&f, vec![]);
-        let config = CampaignConfig { trials: 20, fault_counts: vec![1], ..Default::default() };
+        let config = CampaignConfig {
+            trials: 20,
+            fault_counts: vec![1],
+            ..Default::default()
+        };
         let rows = run(&f, &suite, &config);
         assert_eq!(rows[0].detected, 0);
         assert_eq!(rows[0].detection_rate(), 0.0);
@@ -268,9 +310,19 @@ mod tests {
 
     #[test]
     fn detection_rate_bounds() {
-        let row = CampaignRow { fault_count: 1, trials: 4, detected: 3, escapes: vec![] };
+        let row = CampaignRow {
+            fault_count: 1,
+            trials: 4,
+            detected: 3,
+            escapes: vec![],
+        };
         assert!((row.detection_rate() - 0.75).abs() < 1e-12);
-        let empty = CampaignRow { fault_count: 1, trials: 0, detected: 0, escapes: vec![] };
+        let empty = CampaignRow {
+            fault_count: 1,
+            trials: 0,
+            detected: 0,
+            escapes: vec![],
+        };
         assert_eq!(empty.detection_rate(), 1.0);
     }
 }

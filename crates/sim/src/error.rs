@@ -28,7 +28,10 @@ impl fmt::Display for SimError {
                 write!(f, "valve {valve} cannot be both stuck-at-0 and stuck-at-1")
             }
             SimError::SelfLeak { valve } => {
-                write!(f, "control-leak fault on valve {valve} names itself as victim")
+                write!(
+                    f,
+                    "control-leak fault on valve {valve} names itself as victim"
+                )
             }
         }
     }

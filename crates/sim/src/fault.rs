@@ -109,8 +109,14 @@ impl FaultSet {
     /// Panics if `vector.len()` differs from `fpva.valve_count()` or a
     /// fault references a valve outside the array.
     pub fn effective_states(&self, fpva: &Fpva, vector: &TestVector) -> EffectiveStates {
-        assert_eq!(vector.len(), fpva.valve_count(), "vector/array size mismatch");
-        let mut open: Vec<bool> = (0..fpva.valve_count()).map(|i| vector.is_open(ValveId(i))).collect();
+        assert_eq!(
+            vector.len(),
+            fpva.valve_count(),
+            "vector/array size mismatch"
+        );
+        let mut open: Vec<bool> = (0..fpva.valve_count())
+            .map(|i| vector.is_open(ValveId(i)))
+            .collect();
         for f in &self.faults {
             if let Fault::ControlLeak { actuator, victim } = f {
                 if !vector.is_open(*actuator) {
@@ -134,7 +140,9 @@ impl FromIterator<Fault> for FaultSet {
     /// [`FaultSet::try_from_faults`] when the faults come from outside the
     /// crate.
     fn from_iter<I: IntoIterator<Item = Fault>>(iter: I) -> Self {
-        FaultSet { faults: iter.into_iter().collect() }
+        FaultSet {
+            faults: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -228,19 +236,27 @@ mod tests {
     fn stuck_at_1_beats_control_leak() {
         let f = fixture();
         let set = FaultSet::try_from_faults(vec![
-            Fault::ControlLeak { actuator: ValveId(0), victim: ValveId(1) },
+            Fault::ControlLeak {
+                actuator: ValveId(0),
+                victim: ValveId(1),
+            },
             Fault::StuckAt1(ValveId(1)),
         ])
         .unwrap();
         let eff = set.effective_states(&f, &TestVector::all_closed(f.valve_count()));
-        assert!(eff.is_open(ValveId(1)), "a valve that cannot close stays open");
+        assert!(
+            eff.is_open(ValveId(1)),
+            "a valve that cannot close stays open"
+        );
     }
 
     #[test]
     fn conflicting_stuck_at_rejected() {
-        let err =
-            FaultSet::try_from_faults(vec![Fault::StuckAt0(ValveId(3)), Fault::StuckAt1(ValveId(3))])
-                .unwrap_err();
+        let err = FaultSet::try_from_faults(vec![
+            Fault::StuckAt0(ValveId(3)),
+            Fault::StuckAt1(ValveId(3)),
+        ])
+        .unwrap_err();
         assert_eq!(err, SimError::ConflictingStuckAt { valve: ValveId(3) });
     }
 
@@ -259,7 +275,11 @@ mod tests {
         assert_eq!(Fault::StuckAt0(ValveId(2)).to_string(), "stuck-at-0 at v2");
         assert_eq!(Fault::StuckAt1(ValveId(2)).to_string(), "stuck-at-1 at v2");
         assert_eq!(
-            Fault::ControlLeak { actuator: ValveId(1), victim: ValveId(2) }.to_string(),
+            Fault::ControlLeak {
+                actuator: ValveId(1),
+                victim: ValveId(2)
+            }
+            .to_string(),
             "control leak v1 -> v2"
         );
     }

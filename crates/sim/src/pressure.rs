@@ -121,7 +121,11 @@ mod tests {
     #[test]
     fn all_closed_confines_pressure_to_source_cell() {
         let f = layouts::full_array(3, 3);
-        let p = propagate(&f, &TestVector::all_closed(f.valve_count()), &FaultSet::new());
+        let p = propagate(
+            &f,
+            &TestVector::all_closed(f.valve_count()),
+            &FaultSet::new(),
+        );
         assert_eq!(p.pressurised_count(), 1);
         assert!(p.at(CellId::new(0, 0)));
         assert!(!p.response(&f).any_pressure());
@@ -227,7 +231,10 @@ mod tests {
             .build()
             .unwrap();
         let mut v = TestVector::all_closed(f.valve_count());
-        v.set(f.valve_at(fpva_grid::EdgeId::horizontal(0, 0)).unwrap(), ValveState::Open);
+        v.set(
+            f.valve_at(fpva_grid::EdgeId::horizontal(0, 0)).unwrap(),
+            ValveState::Open,
+        );
         let r = respond(&f, &v, &FaultSet::new());
         assert_eq!(r.readings(), &[true, false]);
     }

@@ -23,8 +23,10 @@ impl TestSuite {
     ///
     /// Panics if any vector's length differs from `fpva.valve_count()`.
     pub fn new(fpva: &Fpva, vectors: Vec<TestVector>) -> Self {
-        let expected =
-            vectors.iter().map(|v| respond(fpva, v, &FaultSet::new())).collect();
+        let expected = vectors
+            .iter()
+            .map(|v| respond(fpva, v, &FaultSet::new()))
+            .collect();
         TestSuite { vectors, expected }
     }
 
@@ -102,7 +104,10 @@ mod tests {
         let f = line3();
         let suite = TestSuite::new(
             &f,
-            vec![TestVector::all_open(f.valve_count()), TestVector::all_closed(f.valve_count())],
+            vec![
+                TestVector::all_open(f.valve_count()),
+                TestVector::all_closed(f.valve_count()),
+            ],
         );
         assert_eq!(suite.len(), 2);
         assert!(!suite.detects(&f, &FaultSet::new()));

@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .port(11, 11, Side::East, PortKind::Sink)
         .port(11, 0, Side::South, PortKind::Sink)
         .build()?;
-    println!("custom chip ({} valves):\n{}", fpva.valve_count(), render(&fpva));
+    println!(
+        "custom chip ({} valves):\n{}",
+        fpva.valve_count(),
+        render(&fpva)
+    );
 
     let plan = Atpg::new().generate(&fpva)?;
     println!(
@@ -34,6 +38,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     if !plan.untestable_open().is_empty() {
         println!("untestable stuck-at-0: {:?}", plan.untestable_open());
+    }
+    if !plan.untestable_closed().is_empty() {
+        // On this chip the second sink sits at the bottom-left corner:
+        // every source→sinks cut must detour around the horizontal
+        // channel, leaving the valves straddled by that detour without a
+        // closable cut. The plan reports them rather than hiding them.
+        println!(
+            "untestable stuck-at-1 ({}): {:?}",
+            plan.untestable_closed().len(),
+            plan.untestable_closed()
+        );
     }
 
     // Exhaustive single-fault audit: every stuck-at fault of every valve.

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fault_counts: vec![1, 2, 3, 4, 5],
         ..Default::default()
     };
-    println!("{:>7} {:>10} {:>10} {:>9}", "faults", "trials", "detected", "rate");
+    println!(
+        "{:>7} {:>10} {:>10} {:>9}",
+        "faults", "trials", "detected", "rate"
+    );
     for row in campaign::run(&fpva, &suite, &config) {
         println!(
             "{:>7} {:>10} {:>10} {:>8.2}%",

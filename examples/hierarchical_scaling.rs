@@ -12,7 +12,10 @@ use fpva::layouts;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("{:>6} | {:>20} | {:>20}", "array", "hierarchical (5x5)", "greedy direct");
+    println!(
+        "{:>6} | {:>20} | {:>20}",
+        "array", "hierarchical (5x5)", "greedy direct"
+    );
     for n in [10usize, 15, 20, 25, 30] {
         let f = layouts::full_array(n, n);
         let t0 = Instant::now();

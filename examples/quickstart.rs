@@ -30,13 +30,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         plan.leakage_paths().len(),
         plan.vector_count()
     );
-    println!("      (naive baseline would need {} vectors)", 2 * fpva.valve_count());
+    println!(
+        "      (naive baseline would need {} vectors)",
+        2 * fpva.valve_count()
+    );
 
     // Apply the suite to two defective chips.
     let suite = plan.to_suite(&fpva);
     let broken_flow = FaultSet::try_from_faults(vec![Fault::StuckAt0(ValveId(42))])?;
     let leaking = FaultSet::try_from_faults(vec![Fault::StuckAt1(ValveId(99))])?;
-    for (name, faults) in [("stuck-at-0 at v42", &broken_flow), ("stuck-at-1 at v99", &leaking)] {
+    for (name, faults) in [
+        ("stuck-at-0 at v42", &broken_flow),
+        ("stuck-at-1 at v99", &leaking),
+    ] {
         match suite.first_detecting_vector(&fpva, faults) {
             Some(i) => {
                 let vec = &suite.vectors()[i];

@@ -41,21 +41,69 @@ fn cut_counts_match_table1_on_all_arrays() {
 }
 
 #[test]
+fn cut_set_counts_follow_dimension_formula() {
+    // Table I's n_c column is exactly the straight grid lines of each
+    // array: (m-1) vertical + (n-1) horizontal — tie the stored paper
+    // constants to the dimensions rather than trusting them in isolation.
+    for entry in layouts::table1() {
+        let (m, n) = (entry.fpva.rows(), entry.fpva.cols());
+        assert_eq!(
+            entry.paper_cut_sets,
+            (m - 1) + (n - 1),
+            "{}: cut-set count must be (m-1)+(n-1)",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn plans_yield_nonempty_suites_on_small_arrays() {
+    for entry in layouts::table1().into_iter().take(3) {
+        let plan = Atpg::new().generate(&entry.fpva).unwrap();
+        let suite = plan.to_suite(&entry.fpva);
+        assert!(!suite.is_empty(), "{}: empty suite", entry.name);
+        assert_eq!(suite.len(), plan.vector_count(), "{}", entry.name);
+    }
+}
+
+#[test]
+#[ignore = "debug-profile runtime is unreasonable; run with `cargo test --release -- --ignored`"]
+fn plans_yield_nonempty_suites_on_large_arrays() {
+    for entry in layouts::table1().into_iter().skip(3) {
+        let plan = Atpg::new().generate(&entry.fpva).unwrap();
+        let suite = plan.to_suite(&entry.fpva);
+        assert!(!suite.is_empty(), "{}: empty suite", entry.name);
+        assert_eq!(suite.len(), plan.vector_count(), "{}", entry.name);
+    }
+}
+
+#[test]
 fn full_single_fault_coverage_5x5() {
     let fpva = layouts::table1_5x5();
     let plan = Atpg::new().generate(&fpva).unwrap();
     let suite = plan.to_suite(&fpva);
     let stuck = audit::single_fault_coverage(&fpva, &suite);
-    assert!(stuck.is_complete(), "stuck-at escapes: {:?}", stuck.undetected);
+    assert!(
+        stuck.is_complete(),
+        "stuck-at escapes: {:?}",
+        stuck.undetected
+    );
     // Every adjacent leak pair is caught except the four physically
     // untestable corner-pocket pairs.
     let leaks = audit::leak_coverage(&fpva, &suite);
-    assert_eq!(leaks.undetected.len(), 4, "leak escapes: {:?}", leaks.undetected);
+    assert_eq!(
+        leaks.undetected.len(),
+        4,
+        "leak escapes: {:?}",
+        leaks.undetected
+    );
     for fault in &leaks.undetected {
         let fpva::Fault::ControlLeak { actuator, victim } = fault else {
             panic!("unexpected fault kind {fault:?}")
         };
-        assert!(fpva::atpg::leakage::pair_untestable(&fpva, *actuator, *victim));
+        assert!(fpva::atpg::leakage::pair_untestable(
+            &fpva, *actuator, *victim
+        ));
     }
 }
 
@@ -65,7 +113,11 @@ fn full_single_fault_coverage_10x10() {
     let plan = Atpg::new().generate(&fpva).unwrap();
     let suite = plan.to_suite(&fpva);
     let stuck = audit::single_fault_coverage(&fpva, &suite);
-    assert!(stuck.is_complete(), "stuck-at escapes: {:?}", stuck.undetected);
+    assert!(
+        stuck.is_complete(),
+        "stuck-at escapes: {:?}",
+        stuck.undetected
+    );
 }
 
 #[test]
@@ -76,7 +128,11 @@ fn two_fault_guarantee_exhaustive_5x5() {
     let plan = Atpg::new().generate(&fpva).unwrap();
     let suite = plan.to_suite(&fpva);
     let report = audit::two_fault_audit(&fpva, &suite);
-    assert!(report.is_complete(), "masked pairs: {:?}", report.undetected);
+    assert!(
+        report.is_complete(),
+        "masked pairs: {:?}",
+        report.undetected
+    );
 }
 
 #[test]
@@ -85,7 +141,11 @@ fn two_fault_sampled_15x15() {
     let plan = Atpg::new().generate(&fpva).unwrap();
     let suite = plan.to_suite(&fpva);
     let report = audit::two_fault_audit_sampled(&fpva, &suite, 400, 21);
-    assert!(report.is_complete(), "masked pairs: {:?}", report.undetected);
+    assert!(
+        report.is_complete(),
+        "masked pairs: {:?}",
+        report.undetected
+    );
 }
 
 #[test]
@@ -94,7 +154,10 @@ fn random_campaign_catches_everything_on_5x5() {
     let fpva = layouts::table1_5x5();
     let plan = Atpg::new().generate(&fpva).unwrap();
     let suite = plan.to_suite(&fpva);
-    let config = CampaignConfig { trials: 500, ..Default::default() };
+    let config = CampaignConfig {
+        trials: 500,
+        ..Default::default()
+    };
     for row in campaign::run(&fpva, &suite, &config) {
         assert!(
             row.all_detected(),

@@ -14,10 +14,13 @@ fn every_path_vector_exposes_each_of_its_valves() {
         for path in plan.flow_paths().iter().chain(plan.leakage_paths()) {
             let vector = path.to_vector(f);
             let golden = respond(f, &vector, &FaultSet::new());
-            assert!(golden.any_pressure(), "{}: path vector delivers no pressure", entry.name);
+            assert!(
+                golden.any_pressure(),
+                "{}: path vector delivers no pressure",
+                entry.name
+            );
             for valve in path.valves(f) {
-                let fault =
-                    FaultSet::try_from_faults(vec![Fault::StuckAt0(valve)]).unwrap();
+                let fault = FaultSet::try_from_faults(vec![Fault::StuckAt0(valve)]).unwrap();
                 assert_ne!(
                     respond(f, &vector, &fault),
                     golden,
@@ -37,7 +40,10 @@ fn every_cut_vector_exposes_each_of_its_valves_on_5x5() {
     for cut in plan.cut_sets() {
         let vector = cut.to_vector(&f);
         let golden = respond(&f, &vector, &FaultSet::new());
-        assert!(!golden.any_pressure(), "cut vector leaks on a fault-free chip");
+        assert!(
+            !golden.any_pressure(),
+            "cut vector leaks on a fault-free chip"
+        );
         for &valve in cut.valves() {
             let fault = FaultSet::try_from_faults(vec![Fault::StuckAt1(valve)]).unwrap();
             if respond(&f, &vector, &fault) != golden {
@@ -48,9 +54,11 @@ fn every_cut_vector_exposes_each_of_its_valves_on_5x5() {
     // Every valve's stuck-at-1 must be exposed by at least one cut vector
     // (not necessarily every cut containing it: a cut may close a valve
     // redundantly, e.g. via the constraint-(9) repair).
-    let missing: Vec<usize> =
-        (0..f.valve_count()).filter(|&i| !exposed[i]).collect();
-    assert!(missing.is_empty(), "stuck-at-1 not exposed for valves {missing:?}");
+    let missing: Vec<usize> = (0..f.valve_count()).filter(|&i| !exposed[i]).collect();
+    assert!(
+        missing.is_empty(),
+        "stuck-at-1 not exposed for valves {missing:?}"
+    );
 }
 
 #[test]

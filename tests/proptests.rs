@@ -10,8 +10,14 @@ use proptest::prelude::*;
 /// Random small layout: dimensions, optional channel, optional obstacle,
 /// corner ports. Built so that ports never collide with the obstacle.
 fn arb_layout() -> impl Strategy<Value = fpva::Fpva> {
-    (3usize..7, 3usize..7, any::<bool>(), any::<bool>(), 0usize..100).prop_map(
-        |(rows, cols, with_channel, with_obstacle, salt)| {
+    (
+        3usize..7,
+        3usize..7,
+        any::<bool>(),
+        any::<bool>(),
+        0usize..100,
+    )
+        .prop_map(|(rows, cols, with_channel, with_obstacle, salt)| {
             let mut b = FpvaBuilder::new(rows, cols);
             let channel_row = 1 + salt % (rows - 2);
             if with_channel {
@@ -27,8 +33,7 @@ fn arb_layout() -> impl Strategy<Value = fpva::Fpva> {
                 .port(rows - 1, cols - 1, Side::East, PortKind::Sink)
                 .build()
                 .expect("constructed layouts are valid")
-        },
-    )
+        })
 }
 
 proptest! {

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`: marker traits plus no-op derives.
+//!
+//! The workspace only derives `Serialize` / `Deserialize` on plain data
+//! types and never serializes through a format crate, so empty marker
+//! traits are sufficient. Swap back to real serde when a registry is
+//! available (see vendor/README.md).
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (lifetime elided — the stub
+/// never borrows from an input).
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

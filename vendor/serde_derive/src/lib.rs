@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline serde stub.
+//!
+//! The stub's traits are empty markers, so the derive has nothing to
+//! implement; it only needs to exist so `#[derive(Serialize, Deserialize)]`
+//! parses. `#[serde(...)]` helper attributes are accepted and ignored.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` request.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` request.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
