@@ -9,15 +9,19 @@
 //! 3. **Leakage vectors on/off**: control-leak coverage with and without
 //!    the dedicated vectors.
 //!
-//! Run with `cargo run --release -p fpva-bench --bin ablation`.
+//! Run with `cargo run --release -p fpva-bench --bin ablation`. Pass
+//! `--threads N` to spread the pairwise two-fault sweep over N workers
+//! (default: one per CPU; the report is identical for every count).
 
 use fpva_atpg::ilp_model::PathIlpConfig;
 use fpva_atpg::{Atpg, AtpgConfig, PathEngine};
+use fpva_bench::{percent_or_na, CliArgs};
 use fpva_grid::layouts;
 use fpva_sim::audit;
 use std::time::Instant;
 
 fn main() {
+    let args = CliArgs::parse();
     println!("== Ablation 1: path engine (count, seconds) ==");
     println!(
         "{:<8} | {:>14} | {:>14} | {:>14}",
@@ -73,16 +77,16 @@ fn main() {
         let plan = Atpg::new().generate(&entry.fpva).expect("valid layout");
         let suite = plan.to_suite(&entry.fpva);
         let report = if entry.fpva.valve_count() <= 200 {
-            audit::two_fault_audit(&entry.fpva, &suite)
+            audit::two_fault_audit(&entry.fpva, &suite, args.threads)
         } else {
             audit::two_fault_audit_sampled(&entry.fpva, &suite, 20_000, 7)
         };
         println!(
-            "{:<8}: {}/{} pairs detected ({:.4}%)",
+            "{:<8}: {}/{} pairs detected ({})",
             entry.name,
             report.total - report.undetected.len(),
             report.total,
-            100.0 * report.coverage()
+            percent_or_na(report.coverage())
         );
     }
 
@@ -98,11 +102,11 @@ fn main() {
         let cov_with = audit::leak_coverage(&entry.fpva, &with.to_suite(&entry.fpva));
         let cov_without = audit::leak_coverage(&entry.fpva, &without.to_suite(&entry.fpva));
         println!(
-            "{:<8}: with n_l={} -> {:.2}% | without -> {:.2}%",
+            "{:<8}: with n_l={} -> {} | without -> {}",
             entry.name,
             with.leakage_paths().len(),
-            100.0 * cov_with.coverage(),
-            100.0 * cov_without.coverage()
+            percent_or_na(cov_with.coverage()),
+            percent_or_na(cov_without.coverage())
         );
     }
 }

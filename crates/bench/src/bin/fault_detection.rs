@@ -4,18 +4,21 @@
 //! were captured).
 //!
 //! Run with `cargo run --release -p fpva-bench --bin fault_detection`.
-//! Pass a trial count to override the default (e.g. `-- 1000` for a quick
-//! run).
+//! Flags: `--trials N` (default 10 000; a bare number also works) and
+//! `--threads N` (default: one worker per CPU; results are identical for
+//! every thread count).
 
-use fpva_bench::plan_table1;
+use fpva_bench::{percent_or_na, plan_table1, CliArgs};
 use fpva_sim::campaign::{self, CampaignConfig};
+use fpva_sim::exec;
 
 fn main() {
-    let trials: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10_000);
-    println!("Section IV experiment — {trials} random injections per fault count");
+    let args = CliArgs::parse();
+    let trials = args.trials.unwrap_or(10_000);
+    println!(
+        "Section IV experiment — {trials} random injections per fault count, {} worker(s)",
+        exec::resolve_threads(args.threads)
+    );
     println!(
         "{:<8} {:>6} {:>4} | {:>10} {:>10} {:>10} {:>10} {:>10}",
         "array", "n_v", "N", "1 fault", "2 faults", "3 faults", "4 faults", "5 faults"
@@ -25,6 +28,7 @@ fn main() {
         let suite = planned.plan.to_suite(&e.fpva);
         let config = CampaignConfig {
             trials,
+            threads: args.threads,
             ..Default::default()
         };
         let rows = campaign::run(&e.fpva, &suite, &config);
@@ -42,9 +46,10 @@ fn main() {
         for r in &rows {
             if !r.all_detected() {
                 println!(
-                    "  !! {} escapes at {} faults, e.g. {:?}",
+                    "  !! {} escapes at {} faults (rate {}), e.g. {:?}",
                     r.trials - r.detected,
                     r.fault_count,
+                    percent_or_na(r.detection_rate()),
                     r.escapes.first()
                 );
             }

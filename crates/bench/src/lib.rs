@@ -57,6 +57,84 @@ pub fn path_mark(i: usize) -> char {
     }
 }
 
+/// Command-line knobs shared by the benchmark binaries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CliArgs {
+    /// `--trials N` (or a bare positional number, kept for backwards
+    /// compatibility with the original `fault_detection` invocation).
+    pub trials: Option<usize>,
+    /// `--threads N`; `0` (the default) means one worker per CPU.
+    pub threads: usize,
+}
+
+impl CliArgs {
+    /// Parses an argument list (without the program name). Supports
+    /// `--flag N` and `--flag=N`; anything unrecognised or malformed is an
+    /// error — a long benchmark run must not silently execute with
+    /// parameters the user did not ask for.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on an unknown flag or an
+    /// unparsable value.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = CliArgs::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let (flag, inline) = match arg.split_once('=') {
+                Some((flag, v)) => (flag, Some(v)),
+                None => (arg.as_str(), None),
+            };
+            match flag {
+                "--trials" | "--threads" => {
+                    let raw = match inline {
+                        Some(v) => v.to_string(),
+                        None => args
+                            .next()
+                            .ok_or_else(|| format!("{flag} expects a value"))?,
+                    };
+                    let n: usize = raw
+                        .parse()
+                        .map_err(|_| format!("{flag} expects a number, got `{raw}`"))?;
+                    match flag {
+                        "--trials" => out.trials = Some(n),
+                        _ => out.threads = n,
+                    }
+                }
+                other => match other.parse() {
+                    // Bare positional number: the original `fault_detection`
+                    // trial-count invocation, kept for compatibility.
+                    Ok(n) if inline.is_none() => out.trials = Some(n),
+                    _ => return Err(format!("unrecognised argument `{arg}`")),
+                },
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the process arguments, exiting with usage on a bad command
+    /// line.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1)).unwrap_or_else(|msg| {
+            eprintln!("error: {msg}");
+            eprintln!("usage: [--trials N] [--threads N]   (N numeric; --threads 0 = all CPUs)");
+            std::process::exit(2);
+        })
+    }
+}
+
+/// Renders an optional rate in `[0, 1]` as a percentage, or `"n/a"` when
+/// the underlying universe was empty (zero trials / zero faults swept).
+/// Four decimals, so one escape in a quadratic pair universe (say 1 of
+/// 22 350) never rounds up to a flat "100%" next to the counts that
+/// contradict it.
+pub fn percent_or_na(rate: Option<f64>) -> String {
+    match rate {
+        Some(rate) => format!("{:.4}%", 100.0 * rate),
+        None => "n/a".to_string(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,6 +145,50 @@ mod tests {
         assert_eq!(path_mark(8), '9');
         assert_eq!(path_mark(9), 'a');
         assert_eq!(path_mark(10), 'b');
+    }
+
+    #[test]
+    fn cli_args_accept_flags_and_positional_trials() {
+        let args = |list: &[&str]| CliArgs::parse_from(list.iter().map(|s| s.to_string()));
+        assert_eq!(
+            args(&["--trials", "500", "--threads", "4"]),
+            Ok(CliArgs {
+                trials: Some(500),
+                threads: 4
+            })
+        );
+        assert_eq!(
+            args(&["--trials=500", "--threads=4"]),
+            Ok(CliArgs {
+                trials: Some(500),
+                threads: 4
+            })
+        );
+        assert_eq!(
+            args(&["1000"]),
+            Ok(CliArgs {
+                trials: Some(1000),
+                threads: 0
+            })
+        );
+        assert_eq!(args(&[]), Ok(CliArgs::default()));
+    }
+
+    #[test]
+    fn cli_args_reject_typos_instead_of_guessing() {
+        let args = |list: &[&str]| CliArgs::parse_from(list.iter().map(|s| s.to_string()));
+        assert!(args(&["--threads", "bogus"]).is_err());
+        assert!(args(&["--threads"]).is_err());
+        assert!(args(&["--seed", "5"]).is_err());
+        assert!(args(&["--trails=500"]).is_err());
+    }
+
+    #[test]
+    fn percent_formatting_handles_empty_universe() {
+        assert_eq!(percent_or_na(Some(0.5)), "50.0000%");
+        // One escape in a large pair universe must not print as 100%.
+        assert_eq!(percent_or_na(Some(22_349.0 / 22_350.0)), "99.9955%");
+        assert_eq!(percent_or_na(None), "n/a");
     }
 
     #[test]

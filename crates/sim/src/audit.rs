@@ -5,8 +5,11 @@
 //! (2·n_v of them), [`leak_coverage`] every physically adjacent control
 //! leak, and [`two_fault_audit`] every (stuck-at-0, stuck-at-1) pair — the
 //! combination Section III-A identifies as the dangerous mutually masking
-//! case and the paper's "any two faults" guarantee is about.
+//! case and the paper's "any two faults" guarantee is about. The pairwise
+//! sweep is quadratic in the valve count, so it runs on the same scoped
+//! worker pool ([`crate::exec`]) as the campaign.
 
+use crate::exec;
 use crate::fault::{Fault, FaultSet};
 use crate::suite::TestSuite;
 use fpva_grid::{Fpva, ValveId};
@@ -23,12 +26,15 @@ pub struct CoverageReport<F> {
 }
 
 impl<F> CoverageReport<F> {
-    /// Detected fraction, in `[0, 1]`.
-    pub fn coverage(&self) -> f64 {
+    /// Detected fraction, in `[0, 1]`, or `None` when the examined
+    /// universe was empty — a sweep over nothing says nothing, so
+    /// reporting a number (the old code said `1.0`, which reads as "fully
+    /// covered" in bench output) would be misleading.
+    pub fn coverage(&self) -> Option<f64> {
         if self.total == 0 {
-            return 1.0;
+            return None;
         }
-        (self.total - self.undetected.len()) as f64 / self.total as f64
+        Some((self.total - self.undetected.len()) as f64 / self.total as f64)
     }
 
     /// `true` when everything was detected.
@@ -71,28 +77,47 @@ pub fn leak_coverage(fpva: &Fpva, suite: &TestSuite) -> CoverageReport<Fault> {
     CoverageReport { total, undetected }
 }
 
+/// Ordered pairs per work chunk of [`two_fault_audit`]. Fixed so the chunk
+/// decomposition — and with it the `undetected` ordering — never depends
+/// on the thread count.
+const PAIR_CHUNK: usize = 512;
+
 /// Checks every (stuck-at-0, stuck-at-1) pair on distinct valves — the
-/// mutual-masking scenario of the paper's Fig. 5(c)/(d). Quadratic in the
-/// valve count: exhaustive for the small arrays, use
-/// [`two_fault_audit_sampled`] for the large ones.
-pub fn two_fault_audit(fpva: &Fpva, suite: &TestSuite) -> CoverageReport<(Fault, Fault)> {
-    let mut undetected = Vec::new();
-    let mut total = 0usize;
-    for (a, _) in fpva.valves() {
-        for (b, _) in fpva.valves() {
-            if a == b {
-                continue;
-            }
-            total += 1;
-            let pair = (Fault::StuckAt0(a), Fault::StuckAt1(b));
+/// mutual-masking scenario of the paper's Fig. 5(c)/(d) — spreading the
+/// O(n_v²) sweep over `threads` workers (`1` = serial on the calling
+/// thread, `0` = all CPUs). The report is identical for every thread
+/// count, with `undetected` in the serial scan order (outer stuck-at-0
+/// valve, inner stuck-at-1 valve). Exhaustive even on the large arrays
+/// given enough threads; [`two_fault_audit_sampled`] remains the cheap
+/// alternative.
+pub fn two_fault_audit(
+    fpva: &Fpva,
+    suite: &TestSuite,
+    threads: usize,
+) -> CoverageReport<(Fault, Fault)> {
+    let nv = fpva.valve_count();
+    let total = nv * nv.saturating_sub(1);
+    let chunks = exec::run_chunked(threads, total, PAIR_CHUNK, |pairs| {
+        let mut undetected = Vec::new();
+        for p in pairs {
+            // Pair index -> (a, b), b skipping the diagonal; matches the
+            // nested `for a { for b }` scan order.
+            let a = p / (nv - 1);
+            let r = p % (nv - 1);
+            let b = if r >= a { r + 1 } else { r };
+            let pair = (Fault::StuckAt0(ValveId(a)), Fault::StuckAt1(ValveId(b)));
             let set = FaultSet::try_from_faults(vec![pair.0, pair.1])
                 .expect("distinct valves cannot conflict");
             if !suite.detects(fpva, &set) {
                 undetected.push(pair);
             }
         }
+        undetected
+    });
+    CoverageReport {
+        total,
+        undetected: chunks.concat(),
     }
-    CoverageReport { total, undetected }
 }
 
 /// Randomly samples `samples` (stuck-at-0, stuck-at-1) pairs; reproducible
@@ -165,7 +190,7 @@ mod tests {
         let report = single_fault_coverage(&f, &suite);
         assert_eq!(report.total, 2 * 3);
         assert!(report.is_complete(), "undetected: {:?}", report.undetected);
-        assert_eq!(report.coverage(), 1.0);
+        assert_eq!(report.coverage(), Some(1.0));
     }
 
     #[test]
@@ -179,18 +204,50 @@ mod tests {
             .undetected
             .iter()
             .all(|fault| matches!(fault, Fault::StuckAt1(_))));
-        assert!((report.coverage() - 0.5).abs() < 1e-12);
+        assert!((report.coverage().unwrap() - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn two_fault_pairs_on_pipeline() {
         let f = line4();
         let suite = complete_suite(&f);
-        let report = two_fault_audit(&f, &suite);
+        let report = two_fault_audit(&f, &suite, 1);
         assert_eq!(report.total, 3 * 2);
         // On a series pipeline the all-open vector always exposes the
         // stuck-at-0 (there is no detour), so every pair is caught.
         assert!(report.is_complete(), "undetected: {:?}", report.undetected);
+    }
+
+    #[test]
+    fn two_fault_audit_is_thread_count_invariant() {
+        let f = line4();
+        // The pathless suite leaves pairs undetected, exercising the
+        // chunk-ordered merge of the `undetected` list.
+        let suite = TestSuite::new(&f, vec![TestVector::all_closed(f.valve_count())]);
+        let serial = two_fault_audit(&f, &suite, 1);
+        assert!(!serial.is_complete());
+        for threads in [0, 2, 8] {
+            assert_eq!(
+                two_fault_audit(&f, &suite, threads),
+                serial,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_fault_audit_handles_tiny_arrays() {
+        let f = FpvaBuilder::new(1, 2)
+            .port(0, 0, Side::West, PortKind::Source)
+            .port(0, 1, Side::East, PortKind::Sink)
+            .build()
+            .unwrap();
+        assert_eq!(f.valve_count(), 1);
+        let suite = complete_suite(&f);
+        let report = two_fault_audit(&f, &suite, 4);
+        assert_eq!(report.total, 0);
+        assert_eq!(report.coverage(), None);
+        assert!(report.is_complete());
     }
 
     #[test]
@@ -214,7 +271,7 @@ mod tests {
         // commanding the actuator closed already removes all pressure, so
         // the victim's drag-closure changes nothing. The audit must report
         // all four pairs as undetected (and the campaign generator skips
-        // such pairs via `leak_is_observable`).
+        // such pairs via the `ObservableLeaks` table).
         assert_eq!(
             report.undetected.len(),
             4,
@@ -232,11 +289,12 @@ mod tests {
     }
 
     #[test]
-    fn empty_report_coverage_is_one() {
+    fn empty_report_coverage_is_explicitly_undefined() {
         let report: CoverageReport<Fault> = CoverageReport {
             total: 0,
             undetected: vec![],
         };
-        assert_eq!(report.coverage(), 1.0);
+        assert_eq!(report.coverage(), None);
+        assert!(report.is_complete());
     }
 }

@@ -1,0 +1,131 @@
+//! Deterministic scoped-thread execution for embarrassingly parallel
+//! sweeps.
+//!
+//! The campaign of [`crate::campaign`] and the pairwise audit of
+//! [`crate::audit`] both iterate over a large index space of independent
+//! work items. [`run_chunked`] splits such a space into fixed-size
+//! contiguous chunks, hands chunks to a pool of scoped workers
+//! ([`std::thread::scope`], no external dependencies) and returns the
+//! per-chunk results **in chunk order** — so as long as each item's result
+//! is a pure function of its index, the merged output is byte-identical
+//! for every thread count, including the serial fallback.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a user-facing thread-count knob: `0` means "one worker per
+/// available CPU", anything else is taken literally.
+pub fn resolve_threads(threads: usize) -> usize {
+    match threads {
+        0 => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+        t => t,
+    }
+}
+
+/// Runs `work` over the index space `0..n` split into contiguous chunks of
+/// `chunk_size` (the last chunk may be shorter), using up to `threads`
+/// scoped workers (`0` = all CPUs), and returns the chunk results in chunk
+/// order.
+///
+/// Workers pull chunk indices from a shared atomic counter, so load is
+/// balanced dynamically; determinism is unaffected because results are
+/// placed by chunk index, not completion order. With `threads <= 1` (after
+/// [`resolve_threads`]) or a single chunk the work runs inline on the
+/// calling thread — same results, no pool.
+///
+/// # Panics
+///
+/// Panics if `work` panics on any worker (the scope joins every worker
+/// before returning, so a panicking chunk never goes unnoticed; the
+/// original payload is reported on the worker's stderr).
+pub fn run_chunked<R, F>(threads: usize, n: usize, chunk_size: usize, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let chunk_size = chunk_size.max(1);
+    let n_chunks = n.div_ceil(chunk_size);
+    let chunk_range = |c: usize| c * chunk_size..(c * chunk_size + chunk_size).min(n);
+    let threads = resolve_threads(threads).min(n_chunks.max(1));
+    if threads <= 1 || n_chunks <= 1 {
+        return (0..n_chunks).map(|c| work(chunk_range(c))).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let result = work(chunk_range(c));
+                *slots[c]
+                    .lock()
+                    .expect("no worker panicked holding the slot") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no worker panicked holding the slot")
+                .expect("every chunk index was claimed and completed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_zero_means_all_cpus() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn chunks_cover_the_range_in_order() {
+        let chunks = run_chunked(1, 10, 4, |r| r.collect::<Vec<_>>());
+        assert_eq!(chunks, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]);
+    }
+
+    #[test]
+    fn empty_range_yields_no_chunks() {
+        let chunks = run_chunked(4, 0, 16, |r| r.len());
+        assert!(chunks.is_empty());
+    }
+
+    #[test]
+    fn results_are_thread_count_invariant() {
+        let sweep = |threads| run_chunked(threads, 103, 7, |r| r.sum::<usize>());
+        let serial = sweep(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(sweep(threads), serial, "threads={threads}");
+        }
+        assert_eq!(serial.iter().sum::<usize>(), (0..103).sum::<usize>());
+    }
+
+    #[test]
+    fn more_workers_than_chunks_is_fine() {
+        let chunks = run_chunked(64, 5, 2, |r| r.start);
+        assert_eq!(chunks, vec![0, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn worker_panics_propagate() {
+        run_chunked(2, 8, 1, |r| {
+            if r.start == 5 {
+                panic!("boom");
+            }
+            r.start
+        });
+    }
+}

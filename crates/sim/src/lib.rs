@@ -15,9 +15,13 @@
 //! * [`TestSuite`] — a vector set with pre-computed golden responses and
 //!   fault-detection queries,
 //! * [`campaign`] — the random multi-fault injection experiment of
-//!   Section IV (10 000 trials of 1–5 faults),
+//!   Section IV (10 000 trials of 1–5 faults), deterministic for every
+//!   thread count via per-trial seed derivation,
 //! * [`audit`] — exhaustive single-fault and pairwise two-fault coverage
-//!   audits used to check the paper's two-fault detection guarantee.
+//!   audits used to check the paper's two-fault detection guarantee,
+//! * [`exec`] — the scoped worker pool the campaign and the pairwise
+//!   audit share (fixed-size chunks, merged in chunk order, so results
+//!   never depend on the thread count).
 //!
 //! # Example
 //!
@@ -43,10 +47,13 @@
 pub mod audit;
 pub mod campaign;
 mod error;
+pub mod exec;
 mod fault;
 mod pressure;
 mod suite;
 
+pub use audit::CoverageReport;
+pub use campaign::{CampaignConfig, CampaignRow, ObservableLeaks};
 pub use error::SimError;
 pub use fault::{EffectiveStates, Fault, FaultSet};
 pub use pressure::{propagate, respond, Pressure, Response};

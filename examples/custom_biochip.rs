@@ -54,11 +54,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Exhaustive single-fault audit: every stuck-at fault of every valve.
     let suite = plan.to_suite(&fpva);
     let report = audit::single_fault_coverage(&fpva, &suite);
+    let coverage = report
+        .coverage()
+        .map_or_else(|| "n/a".to_string(), |c| format!("{:.1}%", 100.0 * c));
     println!(
-        "single-fault audit: {}/{} detected ({:.1}%)",
+        "single-fault audit: {}/{} detected ({coverage})",
         report.total - report.undetected.len(),
         report.total,
-        100.0 * report.coverage()
     );
     for fault in report.undetected.iter().take(5) {
         println!("  escaped: {fault}");

@@ -20,6 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = CampaignConfig {
         trials: 2_000, // the paper uses 10_000; see the fault_detection bench
         fault_counts: vec![1, 2, 3, 4, 5],
+        threads: 0, // one worker per CPU; the rows do not depend on this
         ..Default::default()
     };
     println!(
@@ -27,12 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "faults", "trials", "detected", "rate"
     );
     for row in campaign::run(&fpva, &suite, &config) {
+        let rate = row
+            .detection_rate()
+            .map_or_else(|| "n/a".to_string(), |r| format!("{:.2}%", 100.0 * r));
         println!(
-            "{:>7} {:>10} {:>10} {:>8.2}%",
-            row.fault_count,
-            row.trials,
-            row.detected,
-            100.0 * row.detection_rate()
+            "{:>7} {:>10} {:>10} {:>9}",
+            row.fault_count, row.trials, row.detected, rate
         );
         for escape in row.escapes.iter().take(2) {
             println!("        escape example: {:?}", escape.faults());

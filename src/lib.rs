@@ -30,8 +30,9 @@
 //! let plan = Atpg::new().generate(&fpva)?;
 //! let suite = plan.to_suite(&fpva);
 //!
-//! // The Section IV experiment, scaled down.
-//! let config = CampaignConfig { trials: 100, ..Default::default() };
+//! // The Section IV experiment, scaled down, spread over two workers —
+//! // the rows are byte-identical for every `threads` value.
+//! let config = CampaignConfig { trials: 100, threads: 2, ..Default::default() };
 //! for row in campaign::run(&fpva, &suite, &config) {
 //!     assert!(row.all_detected(), "{} faults escaped", row.fault_count);
 //! }
@@ -49,4 +50,6 @@ pub use fpva_sim as sim;
 
 pub use fpva_atpg::{Atpg, AtpgConfig, AtpgError, CutSet, FlowPath, TestPlan};
 pub use fpva_grid::{layouts, Fpva, FpvaBuilder, GridError, TestVector, ValveId, ValveState};
-pub use fpva_sim::{Fault, FaultSet, TestSuite};
+pub use fpva_sim::{
+    CampaignConfig, CampaignRow, CoverageReport, Fault, FaultSet, ObservableLeaks, TestSuite,
+};

@@ -127,7 +127,9 @@ fn two_fault_guarantee_exhaustive_5x5() {
     let fpva = layouts::table1_5x5();
     let plan = Atpg::new().generate(&fpva).unwrap();
     let suite = plan.to_suite(&fpva);
-    let report = audit::two_fault_audit(&fpva, &suite);
+    // threads: 2 exercises the worker pool in the tier-1 run; the report
+    // is identical for every thread count.
+    let report = audit::two_fault_audit(&fpva, &suite, 2);
     assert!(
         report.is_complete(),
         "masked pairs: {:?}",
