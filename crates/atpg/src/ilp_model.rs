@@ -27,7 +27,7 @@ use crate::heuristic::PathCover;
 use crate::path::FlowPath;
 use fpva_grid::{CellId, CellKind, EdgeId, EdgeKind, Fpva, PortId, PortKind};
 use fpva_ilp::{LinExpr, MilpOptions, MilpSolver, Model, Sense, SolveStatus, VarId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Tuning of the exact engine.
@@ -51,11 +51,12 @@ impl Default for PathIlpConfig {
     }
 }
 
-/// Variable handles for one candidate path.
+/// Variable handles for one candidate path. `BTreeMap` keeps lookup *and*
+/// iteration deterministic (path extraction walks these maps).
 struct PathVars {
-    v: HashMap<EdgeId, VarId>,
-    pe: HashMap<PortId, VarId>,
-    c: HashMap<CellId, VarId>,
+    v: BTreeMap<EdgeId, VarId>,
+    pe: BTreeMap<PortId, VarId>,
+    c: BTreeMap<CellId, VarId>,
 }
 
 /// Builds the feasibility model "cover all valves with exactly `k` paths".
@@ -74,8 +75,8 @@ fn build_model(fpva: &Fpva, k: usize) -> (Model, Vec<PathVars>) {
 
     let mut all_vars = Vec::with_capacity(k);
     for m in 0..k {
-        let mut v = HashMap::new();
-        let mut f = HashMap::new();
+        let mut v = BTreeMap::new();
+        let mut f = BTreeMap::new();
         for &e in &passable {
             v.insert(e, model.binary_var(format!("v{m}_{e}")));
             // The paper declares f integer; continuous flow carries the
@@ -83,8 +84,8 @@ fn build_model(fpva: &Fpva, k: usize) -> (Model, Vec<PathVars>) {
             // balance identity) and keeps branching confined to v/pe.
             f.insert(e, model.continuous_var(format!("f{m}_{e}"), -big_m, big_m));
         }
-        let mut pe = HashMap::new();
-        let mut fp = HashMap::new();
+        let mut pe = BTreeMap::new();
+        let mut fp = BTreeMap::new();
         for (pid, port) in fpva.ports() {
             pe.insert(pid, model.binary_var(format!("pe{m}_{pid}")));
             if port.kind == PortKind::Source {
@@ -94,7 +95,7 @@ fn build_model(fpva: &Fpva, k: usize) -> (Model, Vec<PathVars>) {
                 );
             }
         }
-        let mut c = HashMap::new();
+        let mut c = BTreeMap::new();
         for &cell in &cells {
             // c is determined by the degree identity (1): 2c = Σv + Σpe,
             // so integrality of v/pe forces c ∈ {0, 1} without branching.
@@ -174,6 +175,36 @@ fn build_model(fpva: &Fpva, k: usize) -> (Model, Vec<PathVars>) {
         model.add_geq(cover, 1.0);
     }
 
+    // The probe is a pure feasibility question, but solving it with a
+    // zero objective leaves the LP relaxation with no guidance at all:
+    // fractional flow smears across the array and branch-and-bound has to
+    // enumerate its way to integrality. Minimising the total number of
+    // crossed sites pulls the relaxation towards short, consolidated
+    // paths (any feasible integer point is still a valid cover, and
+    // `stop_at_first` keeps the early-exit behaviour).
+    let mut total_sites = LinExpr::new();
+    for vars in &all_vars {
+        for &var in vars.v.values() {
+            total_sites.add_term(var, 1.0);
+        }
+    }
+    model.set_objective(total_sites);
+
+    // The k candidate paths are interchangeable, which makes the search
+    // tree k!-fold symmetric. Ordering them by non-increasing length is
+    // valid for every cover (relabel the paths) and prunes the mirrored
+    // subtrees.
+    for pair in all_vars.windows(2) {
+        let mut diff = LinExpr::new();
+        for &var in pair[0].v.values() {
+            diff.add_term(var, 1.0);
+        }
+        for &var in pair[1].v.values() {
+            diff.add_term(var, -1.0);
+        }
+        model.add_geq(diff, 0.0);
+    }
+
     (model, all_vars)
 }
 
@@ -227,6 +258,25 @@ fn extract_path(
     FlowPath::new(fpva, source, sink, cells)
 }
 
+/// Aggregate solver effort of one [`min_path_cover_ilp_with_stats`] run,
+/// exposed so callers (notably the `ablation` binary) can attribute
+/// ILP-vs-greedy outcomes honestly: a probe that burned its budget is a
+/// *limit hit*, not evidence about cover existence.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IlpCoverStats {
+    /// Feasibility probes attempted (one per candidate path count `k`).
+    pub probes: usize,
+    /// Probes that ended on a node/time limit without a definite answer.
+    pub limit_probes: usize,
+    /// Branch-and-bound nodes processed across all probes.
+    pub nodes: usize,
+    /// Nodes whose LP relaxation was cut short by the deadline or pivot
+    /// budget (see `fpva_ilp::SolveStats::limit_nodes`).
+    pub limit_nodes: usize,
+    /// Simplex pivots across all probes.
+    pub lp_iterations: usize,
+}
+
 /// Probes increasing path counts `k = lb, lb+1, …` and returns the first
 /// feasible exact cover — the paper's minimisation strategy "(7)–(8), then
 /// increase n_p when infeasible" run in the opposite (sound) direction.
@@ -237,14 +287,27 @@ fn extract_path(
 /// * [`AtpgError::Solver`] — every probe up to
 ///   [`PathIlpConfig::max_paths`] was infeasible or hit its limit.
 pub fn min_path_cover_ilp(fpva: &Fpva, config: &PathIlpConfig) -> Result<PathCover, AtpgError> {
+    min_path_cover_ilp_with_stats(fpva, config).0
+}
+
+/// Like [`min_path_cover_ilp`], additionally reporting per-run solver
+/// statistics (returned even when the cover search fails).
+pub fn min_path_cover_ilp_with_stats(
+    fpva: &Fpva,
+    config: &PathIlpConfig,
+) -> (Result<PathCover, AtpgError>, IlpCoverStats) {
+    let mut stats = IlpCoverStats::default();
     if fpva.sources().next().is_none() || fpva.sinks().next().is_none() {
-        return Err(AtpgError::MissingPorts);
+        return (Err(AtpgError::MissingPorts), stats);
     }
     if fpva.valve_count() == 0 {
-        return Ok(PathCover {
-            paths: Vec::new(),
-            uncovered: Vec::new(),
-        });
+        return (
+            Ok(PathCover {
+                paths: Vec::new(),
+                uncovered: Vec::new(),
+            }),
+            stats,
+        );
     }
     // Lower bound: a simple path crosses at most cell_count+1 sites.
     let lb = fpva.valve_count().div_ceil(fpva.cell_count() + 1).max(1);
@@ -257,38 +320,57 @@ pub fn min_path_cover_ilp(fpva: &Fpva, config: &PathIlpConfig) -> Result<PathCov
             stop_at_first: true,
             ..MilpOptions::default()
         });
-        let outcome = solver.solve(&model).map_err(|e| AtpgError::Solver {
-            reason: e.to_string(),
-        })?;
+        let outcome = match solver.solve(&model) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                return (
+                    Err(AtpgError::Solver {
+                        reason: e.to_string(),
+                    }),
+                    stats,
+                )
+            }
+        };
+        stats.probes += 1;
+        stats.nodes += outcome.stats.nodes;
+        stats.limit_nodes += outcome.stats.limit_nodes;
+        stats.lp_iterations += outcome.stats.lp_iterations;
         match outcome.status {
             SolveStatus::Optimal | SolveStatus::Feasible => {
                 let sol = outcome.best.expect("feasible outcome has incumbent");
-                let paths = vars
+                let paths = match vars
                     .iter()
                     .map(|pv| extract_path(fpva, &sol, pv))
-                    .collect::<Result<Vec<_>, _>>()?;
-                return Ok(PathCover {
-                    paths,
-                    uncovered: Vec::new(),
-                });
+                    .collect::<Result<Vec<_>, _>>()
+                {
+                    Ok(paths) => paths,
+                    Err(e) => return (Err(e), stats),
+                };
+                return (
+                    Ok(PathCover {
+                        paths,
+                        uncovered: Vec::new(),
+                    }),
+                    stats,
+                );
             }
             SolveStatus::Infeasible => continue,
             SolveStatus::Unknown | SolveStatus::Unbounded => {
+                stats.limit_probes += 1;
                 limited = true;
                 continue;
             }
         }
     }
-    Err(AtpgError::Solver {
-        reason: if limited {
-            format!(
-                "no cover proven within limits up to {} paths",
-                config.max_paths
-            )
-        } else {
-            format!("no cover exists with up to {} paths", config.max_paths)
-        },
-    })
+    let reason = if limited {
+        format!(
+            "no cover proven within limits up to {} paths",
+            config.max_paths
+        )
+    } else {
+        format!("no cover exists with up to {} paths", config.max_paths)
+    };
+    (Err(AtpgError::Solver { reason }), stats)
 }
 
 #[cfg(test)]

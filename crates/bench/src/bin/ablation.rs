@@ -13,7 +13,7 @@
 //! `--threads N` to spread the pairwise two-fault sweep over N workers
 //! (default: one per CPU; the report is identical for every count).
 
-use fpva_atpg::ilp_model::PathIlpConfig;
+use fpva_atpg::ilp_model::{min_path_cover_ilp_with_stats, PathIlpConfig};
 use fpva_atpg::{Atpg, AtpgConfig, PathEngine};
 use fpva_bench::{percent_or_na, CliArgs};
 use fpva_grid::layouts;
@@ -70,6 +70,30 @@ fn main() {
             }
         }
         println!("{row}");
+    }
+
+    println!("\n== Ablation 1b: exact-ILP subblock scaling (default limits) ==");
+    println!(
+        "{:<6} | {:>5} | {:>8} | {:>6} | {:>12} | {:>11}",
+        "block", "paths", "seconds", "probes", "limit-probes", "limit-nodes"
+    );
+    for n in 2..=5usize {
+        let f = layouts::full_array(n, n);
+        let t0 = Instant::now();
+        let (res, stats) = min_path_cover_ilp_with_stats(&f, &PathIlpConfig::default());
+        let paths = match &res {
+            Ok(cover) => cover.paths.len().to_string(),
+            Err(_) => "none".into(),
+        };
+        println!(
+            "{:<6} | {:>5} | {:>7.2}s | {:>6} | {:>12} | {:>11}",
+            format!("{n}x{n}"),
+            paths,
+            t0.elapsed().as_secs_f64(),
+            stats.probes,
+            stats.limit_probes,
+            stats.limit_nodes
+        );
     }
 
     println!("\n== Ablation 2: two-fault detection (stuck-at-0 x stuck-at-1 pairs) ==");

@@ -2,8 +2,9 @@
 
 use crate::error::IlpError;
 use crate::model::{Model, Sense, VarKind};
-use crate::simplex::{self, LpProblem, LpRow, LpStatus};
+use crate::simplex::{Basis, LpStatus};
 use crate::solution::{MilpOutcome, Solution, SolveStats, SolveStatus};
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`MilpSolver`].
@@ -101,25 +102,16 @@ impl MilpSolver {
             Sense::Maximize => -1.0,
         };
 
-        // Minimisation-form objective vector (constant handled at reporting).
-        let mut objective = vec![0.0; n];
-        for (v, c) in model.objective().terms() {
-            objective[v.index()] = sign * c;
-        }
+        // The constraint matrix is lowered to CSC exactly once; every
+        // node then re-solves the same prepared LP under tightened bound
+        // vectors (the dense-tableau solver used to re-clone the full row
+        // set per node). A single engine persists across all nodes so a
+        // DFS child popped right after its parent reuses the live
+        // factorization and pricing weights.
+        let (lp, base_lower, base_upper) = model.to_sparse_lp();
+        let mut engine = lp.engine();
         let obj_constant = model.objective().constant();
 
-        let rows: Vec<LpRow> = model
-            .constraints()
-            .iter()
-            .map(|c| LpRow {
-                coeffs: c.expr.terms().map(|(v, a)| (v.index(), a)).collect(),
-                op: c.op,
-                rhs: c.rhs,
-            })
-            .collect();
-
-        let base_lower: Vec<f64> = model.vars().iter().map(|v| v.lb).collect();
-        let base_upper: Vec<f64> = model.vars().iter().map(|v| v.ub).collect();
         let is_int: Vec<bool> = model
             .vars()
             .iter()
@@ -135,11 +127,15 @@ impl MilpSolver {
             .initial_incumbent
             .map_or(f64::INFINITY, |u| sign * u);
         let mut root_bound = f64::NEG_INFINITY;
-        let mut lp_failures = 0usize;
         let mut hit_limit = false;
 
-        let mut stack: Vec<(Vec<f64>, Vec<f64>)> = vec![(base_lower, base_upper)];
-        while let Some((lower, upper)) = stack.pop() {
+        // Each stack entry carries its parent's optimal basis (shared by
+        // both children via Rc): warm-starting the child LP from it cuts
+        // the per-node pivot count by an order of magnitude compared to
+        // re-growing the basis from slacks at every node.
+        type Node = (Vec<f64>, Vec<f64>, Option<Rc<Basis>>);
+        let mut stack: Vec<Node> = vec![(base_lower, base_upper, None)];
+        while let Some((lower, upper, warm)) = stack.pop() {
             if let Some(limit) = self.options.node_limit {
                 if stats.nodes >= limit {
                     hit_limit = true;
@@ -147,20 +143,18 @@ impl MilpSolver {
                 }
             }
             if let Some(limit) = self.options.time_limit {
-                if start.elapsed() >= limit {
+                // The root node is always attempted: its LP enforces the
+                // same deadline internally and bails out as TimeLimit, so
+                // an exhausted budget still yields an honest limit count
+                // instead of an empty run.
+                if stats.nodes > 0 && start.elapsed() >= limit {
                     hit_limit = true;
                     break;
                 }
             }
             stats.nodes += 1;
 
-            let lp = LpProblem {
-                objective: objective.clone(),
-                rows: rows.clone(),
-                lower,
-                upper,
-            };
-            let sol = simplex::solve_with_deadline(&lp, deadline);
+            let (sol, node_basis) = engine.solve(&lower, &upper, deadline, warm.as_deref());
             stats.lp_iterations += sol.iterations;
             match sol.status {
                 LpStatus::Infeasible => continue,
@@ -175,8 +169,12 @@ impl MilpSolver {
                         stats,
                     });
                 }
-                LpStatus::IterationLimit => {
-                    lp_failures += 1;
+                LpStatus::IterationLimit | LpStatus::TimeLimit => {
+                    // The node's relaxation was cut short: its subtree is
+                    // dropped without a bound, so count it as a limit hit
+                    // (not as an explored node) and let the final status
+                    // reflect the unproven search.
+                    stats.limit_nodes += 1;
                     continue;
                 }
                 LpStatus::Optimal => {}
@@ -215,7 +213,8 @@ impl MilpSolver {
                         *x = x.round();
                     }
                 }
-                let min_obj: f64 = objective
+                let min_obj: f64 = lp
+                    .objective()
                     .iter()
                     .zip(&values)
                     .map(|(c, x)| c * x)
@@ -232,10 +231,11 @@ impl MilpSolver {
             };
 
             // Children: explore the side nearer the LP value first (LIFO).
+            let parent_basis = node_basis.map(Rc::new);
             let floor = v.floor();
-            let mut down = (lp.lower.clone(), lp.upper.clone());
+            let mut down = (lower.clone(), upper.clone(), parent_basis.clone());
             down.1[j] = floor;
-            let mut up = (lp.lower, lp.upper);
+            let mut up = (lower, upper, parent_basis);
             up.0[j] = floor + 1.0;
             if v - floor > 0.5 {
                 stack.push(down);
@@ -247,7 +247,7 @@ impl MilpSolver {
         }
 
         stats.elapsed = start.elapsed();
-        let proved_optimal = !hit_limit && lp_failures == 0;
+        let proved_optimal = !hit_limit && stats.limit_nodes == 0;
         let status = match (&incumbent, proved_optimal) {
             (Some(_), true) => SolveStatus::Optimal,
             (Some(_), false) => SolveStatus::Feasible,
@@ -446,6 +446,43 @@ mod tests {
             SolveStatus::Feasible | SolveStatus::Unknown
         ));
         assert!(out.stats.nodes <= 1);
+    }
+
+    #[test]
+    fn limit_hit_nodes_reported_separately() {
+        // A knapsack that needs branching, strangled by an already-tiny
+        // time budget: every node's LP hits the deadline. Those nodes
+        // must surface in `limit_nodes` — not masquerade as explored —
+        // and the status must degrade to Unknown, never Infeasible.
+        let mut m = Model::new(Sense::Maximize);
+        let xs: Vec<_> = (0..12).map(|i| m.binary_var(format!("x{i}"))).collect();
+        let mut w = LinExpr::new();
+        let mut v = LinExpr::new();
+        for (i, &x) in xs.iter().enumerate() {
+            w.add_term(x, 2.0 + (i as f64) * 1.1);
+            v.add_term(x, 3.0 + ((i * 5) % 7) as f64);
+        }
+        m.add_leq(w, 23.0);
+        m.set_objective(v);
+        let out = MilpSolver::new()
+            .time_limit(Duration::from_nanos(1))
+            .solve(&m)
+            .unwrap();
+        assert!(
+            out.stats.limit_nodes >= 1,
+            "deadline-starved LPs must be counted as limit hits"
+        );
+        assert!(
+            out.stats.limit_nodes <= out.stats.nodes,
+            "limit nodes are a subset of processed nodes"
+        );
+        assert_eq!(out.status, SolveStatus::Unknown);
+
+        // The same model with a sane budget explores cleanly: no limit
+        // nodes, proven optimum.
+        let out = MilpSolver::new().solve(&m).unwrap();
+        assert_eq!(out.stats.limit_nodes, 0);
+        assert_eq!(out.status, SolveStatus::Optimal);
     }
 
     #[test]

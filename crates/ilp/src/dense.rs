@@ -1,0 +1,470 @@
+//! Dense two-phase tableau simplex, kept as the **differential-test
+//! oracle** for the sparse revised simplex in [`crate::simplex`].
+//!
+//! This is the original production solver: a standard two-phase tableau
+//! with Dantzig pricing and Bland's rule as the anti-cycling fallback.
+//! Finite upper bounds become extra rows and variables are shifted to
+//! `x' = x − l ≥ 0`. It is slow on the path-cover LPs (every pivot
+//! rewrites the full `(m + 1) × (ncols + 1)` tableau) but simple enough
+//! to trust, which makes it the reference implementation the
+//! `ilp_differential` proptest harness compares [`crate::simplex::solve`]
+//! against. Production code must call [`crate::simplex`]; nothing outside
+//! the test suites should depend on this module.
+
+use crate::model::ConstraintOp;
+use crate::simplex::{LpProblem, LpSolution, LpStatus, EPS};
+
+/// Tolerance used when comparing the phase-1 objective against zero.
+const FEAS_TOL: f64 = 1e-7;
+
+struct Tableau {
+    /// (m + 1) rows × (ncols + 1) columns, flat row-major; last column is
+    /// the RHS, last row the reduced-cost row.
+    data: Vec<f64>,
+    m: usize,
+    ncols: usize,
+    basis: Vec<usize>,
+    iterations: usize,
+}
+
+impl Tableau {
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * (self.ncols + 1) + c]
+    }
+
+    fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * (self.ncols + 1) + c] = v;
+    }
+
+    fn pivot(&mut self, pr: usize, pc: usize) {
+        let w = self.ncols + 1;
+        let pivot = self.at(pr, pc);
+        debug_assert!(pivot.abs() > EPS, "pivot too small: {pivot}");
+        let inv = 1.0 / pivot;
+        for c in 0..w {
+            self.data[pr * w + c] *= inv;
+        }
+        self.set(pr, pc, 1.0);
+        for r in 0..=self.m {
+            if r == pr {
+                continue;
+            }
+            let factor = self.at(r, pc);
+            if factor.abs() <= EPS {
+                self.set(r, pc, 0.0);
+                continue;
+            }
+            for c in 0..w {
+                let v = self.data[r * w + c] - factor * self.data[pr * w + c];
+                self.data[r * w + c] = v;
+            }
+            self.set(r, pc, 0.0);
+        }
+        self.basis[pr] = pc;
+        self.iterations += 1;
+    }
+
+    /// Runs the pivot loop; `allowed` filters columns that may enter.
+    fn optimize(
+        &mut self,
+        allowed: impl Fn(usize) -> bool,
+        max_iters: usize,
+        deadline: Option<std::time::Instant>,
+    ) -> LpStatus {
+        let bland_after = 200 + 20 * self.m;
+        let mut local_iters = 0usize;
+        loop {
+            if local_iters > max_iters {
+                return LpStatus::IterationLimit;
+            }
+            // A single dense pivot on a large tableau is expensive, so a
+            // caller's wall-clock budget has to be enforced *inside* the
+            // pivot loop — checking only between branch-and-bound nodes
+            // lets one LP overshoot the limit by minutes.
+            if local_iters.is_multiple_of(128) {
+                if let Some(d) = deadline {
+                    if std::time::Instant::now() >= d {
+                        return LpStatus::TimeLimit;
+                    }
+                }
+            }
+            let use_bland = local_iters > bland_after;
+            // Entering column.
+            let zrow = self.m;
+            let mut entering: Option<usize> = None;
+            let mut best = -EPS;
+            for c in 0..self.ncols {
+                if !allowed(c) {
+                    continue;
+                }
+                let rc = self.at(zrow, c);
+                if use_bland {
+                    if rc < -EPS {
+                        entering = Some(c);
+                        break;
+                    }
+                } else if rc < best {
+                    best = rc;
+                    entering = Some(c);
+                }
+            }
+            let Some(pc) = entering else {
+                return LpStatus::Optimal;
+            };
+            // Ratio test.
+            let mut leaving: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.m {
+                let a = self.at(r, pc);
+                if a > EPS {
+                    let ratio = self.at(r, self.ncols) / a;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leaving.is_some_and(|lr| self.basis[r] < self.basis[lr]));
+                    if better {
+                        best_ratio = ratio;
+                        leaving = Some(r);
+                    }
+                }
+            }
+            let Some(pr) = leaving else {
+                return LpStatus::Unbounded;
+            };
+            self.pivot(pr, pc);
+            local_iters += 1;
+        }
+    }
+}
+
+/// Solves the LP with the dense two-phase primal simplex.
+///
+/// # Panics
+///
+/// Panics if the problem arrays have inconsistent lengths, a lower bound
+/// is not finite, or a coefficient is NaN (callers are expected to
+/// validate with [`crate::Model::validate`] first).
+pub fn solve(p: &LpProblem) -> LpSolution {
+    solve_with_deadline(p, None)
+}
+
+/// Like [`solve`], but gives up with [`LpStatus::TimeLimit`] once
+/// `deadline` passes (checked inside the pivot loop).
+///
+/// # Panics
+///
+/// Same contract as [`solve`].
+pub fn solve_with_deadline(p: &LpProblem, deadline: Option<std::time::Instant>) -> LpSolution {
+    let n = p.objective.len();
+    assert_eq!(p.lower.len(), n, "lower bound count mismatch");
+    assert_eq!(p.upper.len(), n, "upper bound count mismatch");
+    assert!(
+        p.lower.iter().all(|l| l.is_finite()),
+        "lower bounds must be finite"
+    );
+
+    // Shift variables: x = x' + l, x' >= 0. Collect all rows, including
+    // upper-bound rows, as (coeffs, op, rhs) over x'.
+    struct Row {
+        coeffs: Vec<(usize, f64)>,
+        op: ConstraintOp,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(p.rows.len() + n);
+    for row in &p.rows {
+        let shift: f64 = row.coeffs.iter().map(|&(j, a)| a * p.lower[j]).sum();
+        rows.push(Row {
+            coeffs: row.coeffs.clone(),
+            op: row.op,
+            rhs: row.rhs - shift,
+        });
+    }
+    for j in 0..n {
+        if p.upper[j].is_finite() {
+            let span = p.upper[j] - p.lower[j];
+            rows.push(Row {
+                coeffs: vec![(j, 1.0)],
+                op: ConstraintOp::Leq,
+                rhs: span,
+            });
+        }
+    }
+
+    // Normalise RHS to be non-negative.
+    for row in &mut rows {
+        if row.rhs < 0.0 {
+            row.rhs = -row.rhs;
+            for (_, a) in &mut row.coeffs {
+                *a = -*a;
+            }
+            row.op = match row.op {
+                ConstraintOp::Leq => ConstraintOp::Geq,
+                ConstraintOp::Geq => ConstraintOp::Leq,
+                ConstraintOp::Eq => ConstraintOp::Eq,
+            };
+        }
+    }
+
+    let m = rows.len();
+    // Column layout: structural (n) | slack/surplus (one per Leq/Geq row) |
+    // artificial (one per Geq/Eq row).
+    let mut n_slack = 0usize;
+    let mut n_art = 0usize;
+    for row in &rows {
+        match row.op {
+            ConstraintOp::Leq => n_slack += 1,
+            ConstraintOp::Geq => {
+                n_slack += 1;
+                n_art += 1;
+            }
+            ConstraintOp::Eq => n_art += 1,
+        }
+    }
+    let ncols = n + n_slack + n_art;
+    let w = ncols + 1;
+    let mut t = Tableau {
+        data: vec![0.0; (m + 1) * w],
+        m,
+        ncols,
+        basis: vec![usize::MAX; m],
+        iterations: 0,
+    };
+
+    let art_start = n + n_slack;
+    let mut slack_next = n;
+    let mut art_next = art_start;
+    for (r, row) in rows.iter().enumerate() {
+        for &(j, a) in &row.coeffs {
+            let cur = t.at(r, j);
+            t.set(r, j, cur + a);
+        }
+        t.set(r, ncols, row.rhs);
+        match row.op {
+            ConstraintOp::Leq => {
+                t.set(r, slack_next, 1.0);
+                t.basis[r] = slack_next;
+                slack_next += 1;
+            }
+            ConstraintOp::Geq => {
+                t.set(r, slack_next, -1.0);
+                slack_next += 1;
+                t.set(r, art_next, 1.0);
+                t.basis[r] = art_next;
+                art_next += 1;
+            }
+            ConstraintOp::Eq => {
+                t.set(r, art_next, 1.0);
+                t.basis[r] = art_next;
+                art_next += 1;
+            }
+        }
+    }
+
+    let max_iters = 2000 + 60 * (m + ncols);
+
+    // Phase 1: minimise the sum of artificials.
+    if n_art > 0 {
+        for c in art_start..ncols {
+            t.set(m, c, 1.0);
+        }
+        // Zero out reduced costs of the basic artificials.
+        for r in 0..m {
+            if t.basis[r] >= art_start {
+                let w2 = ncols + 1;
+                for c in 0..w2 {
+                    let v = t.data[m * w2 + c] - t.data[r * w2 + c];
+                    t.data[m * w2 + c] = v;
+                }
+            }
+        }
+        let status = t.optimize(|_| true, max_iters, deadline);
+        if status == LpStatus::IterationLimit || status == LpStatus::TimeLimit {
+            return LpSolution {
+                status,
+                x: vec![0.0; n],
+                objective: f64::NAN,
+                iterations: t.iterations,
+            };
+        }
+        let phase1_obj = -t.at(m, ncols);
+        if phase1_obj > FEAS_TOL {
+            return LpSolution {
+                status: LpStatus::Infeasible,
+                x: vec![0.0; n],
+                objective: f64::NAN,
+                iterations: t.iterations,
+            };
+        }
+        // Pivot basic artificials out where possible.
+        for r in 0..m {
+            if t.basis[r] >= art_start {
+                if let Some(c) = (0..art_start).find(|&c| t.at(r, c).abs() > 1e-7) {
+                    t.pivot(r, c);
+                }
+                // If no pivot column exists the row is redundant; the
+                // artificial stays basic at value 0, which is harmless as
+                // long as artificial columns never re-enter (guaranteed by
+                // the `allowed` filter below).
+            }
+        }
+    }
+
+    // Phase 2: install the real objective row.
+    {
+        let w2 = ncols + 1;
+        for c in 0..w2 {
+            t.data[m * w2 + c] = 0.0;
+        }
+        for (j, &cost) in p.objective.iter().enumerate() {
+            t.set(m, j, cost);
+        }
+        for r in 0..m {
+            let b = t.basis[r];
+            if b < n {
+                let cost = p.objective[b];
+                if cost != 0.0 {
+                    for c in 0..w2 {
+                        let v = t.data[m * w2 + c] - cost * t.data[r * w2 + c];
+                        t.data[m * w2 + c] = v;
+                    }
+                }
+            }
+        }
+    }
+    let status = t.optimize(|c| c < art_start, max_iters, deadline);
+    if status != LpStatus::Optimal {
+        return LpSolution {
+            status,
+            x: vec![0.0; n],
+            objective: f64::NAN,
+            iterations: t.iterations,
+        };
+    }
+
+    // Extract the primal point.
+    let mut x = p.lower.clone();
+    for r in 0..m {
+        let b = t.basis[r];
+        if b < n {
+            x[b] = p.lower[b] + t.at(r, ncols);
+        }
+    }
+    let objective = p.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
+    LpSolution {
+        status: LpStatus::Optimal,
+        x,
+        objective,
+        iterations: t.iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(coeffs: &[(usize, f64)], op: ConstraintOp, rhs: f64) -> crate::simplex::LpRow {
+        crate::simplex::LpRow {
+            coeffs: coeffs.to_vec(),
+            op,
+            rhs,
+        }
+    }
+
+    #[test]
+    fn textbook_two_var_max() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (min form: negate).
+        let p = LpProblem {
+            objective: vec![-3.0, -5.0],
+            rows: vec![
+                row(&[(0, 1.0)], ConstraintOp::Leq, 4.0),
+                row(&[(1, 2.0)], ConstraintOp::Leq, 12.0),
+                row(&[(0, 3.0), (1, 2.0)], ConstraintOp::Leq, 18.0),
+            ],
+            lower: vec![0.0, 0.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+        };
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!(
+            (s.objective - (-36.0)).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
+        assert!((s.x[0] - 2.0).abs() < 1e-6 && (s.x[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and x >= 2.
+        let p = LpProblem {
+            objective: vec![0.0],
+            rows: vec![
+                row(&[(0, 1.0)], ConstraintOp::Leq, 1.0),
+                row(&[(0, 1.0)], ConstraintOp::Geq, 2.0),
+            ],
+            lower: vec![0.0],
+            upper: vec![f64::INFINITY],
+        };
+        assert_eq!(solve(&p).status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x, x >= 0 unconstrained above.
+        let p = LpProblem {
+            objective: vec![-1.0],
+            rows: vec![],
+            lower: vec![0.0],
+            upper: vec![f64::INFINITY],
+        };
+        assert_eq!(solve(&p).status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Beale's classic cycling example.
+        let p = LpProblem {
+            objective: vec![-0.75, 150.0, -0.02, 6.0],
+            rows: vec![
+                row(
+                    &[(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
+                    ConstraintOp::Leq,
+                    0.0,
+                ),
+                row(
+                    &[(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
+                    ConstraintOp::Leq,
+                    0.0,
+                ),
+                row(&[(2, 1.0)], ConstraintOp::Leq, 1.0),
+            ],
+            lower: vec![0.0; 4],
+            upper: vec![f64::INFINITY; 4],
+        };
+        let s = solve(&p);
+        assert_eq!(
+            s.status,
+            LpStatus::Optimal,
+            "Beale's example must terminate"
+        );
+        assert!(
+            (s.objective - (-0.05)).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
+    }
+
+    #[test]
+    fn expired_deadline_reports_time_limit() {
+        let p = LpProblem {
+            objective: vec![-1.0, -1.0],
+            rows: vec![row(&[(0, 1.0), (1, 1.0)], ConstraintOp::Leq, 4.0)],
+            lower: vec![0.0, 0.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+        };
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        assert_eq!(
+            solve_with_deadline(&p, Some(past)).status,
+            LpStatus::TimeLimit
+        );
+    }
+}

@@ -106,6 +106,71 @@ impl LinExpr {
     }
 }
 
+/// A sparse vector: sorted `(index, value)` pairs with no duplicates.
+///
+/// This is the column currency of the revised simplex — structural
+/// columns of the constraint matrix ([`crate::sparse::CscMatrix`]) and
+/// sparse objective vectors are assembled from it without ever touching
+/// a dense intermediate.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseVec {
+    entries: Vec<(usize, f64)>,
+}
+
+impl SparseVec {
+    /// The empty vector.
+    pub fn new() -> Self {
+        SparseVec::default()
+    }
+
+    /// An empty vector with room for `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        SparseVec {
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends an entry; zeros are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not strictly greater than the last pushed
+    /// index (entries must arrive sorted and unique).
+    pub fn push(&mut self, index: usize, value: f64) {
+        if let Some(&(last, _)) = self.entries.last() {
+            assert!(index > last, "indices must be pushed in ascending order");
+        }
+        if value != 0.0 {
+            self.entries.push((index, value));
+        }
+    }
+
+    /// Builds from entries in any order; duplicates are summed, zeros
+    /// dropped.
+    pub fn from_unsorted(mut entries: Vec<(usize, f64)>) -> Self {
+        entries.sort_unstable_by_key(|&(i, _)| i);
+        let mut out = SparseVec::with_capacity(entries.len());
+        for (i, v) in entries {
+            match out.entries.last_mut() {
+                Some((last, acc)) if *last == i => *acc += v,
+                _ => out.entries.push((i, v)),
+            }
+        }
+        out.entries.retain(|&(_, v)| v != 0.0);
+        out
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The `(index, value)` entries in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
 impl From<VarId> for LinExpr {
     fn from(v: VarId) -> Self {
         let mut e = LinExpr::new();
@@ -313,6 +378,30 @@ mod tests {
         assert!(e.is_finite());
         e.add_term(v(1), f64::NAN);
         assert!(!e.is_finite());
+    }
+
+    #[test]
+    fn sparse_vec_push_drops_zeros_and_keeps_order() {
+        let mut v = SparseVec::new();
+        v.push(1, 2.0);
+        v.push(3, 0.0); // dropped
+        v.push(4, -1.0);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.iter().collect::<Vec<_>>(), vec![(1, 2.0), (4, -1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending order")]
+    fn sparse_vec_rejects_unsorted_push() {
+        let mut v = SparseVec::new();
+        v.push(2, 1.0);
+        v.push(1, 1.0);
+    }
+
+    #[test]
+    fn sparse_vec_from_unsorted_merges() {
+        let v = SparseVec::from_unsorted(vec![(3, 1.0), (0, 2.0), (3, -1.0), (1, 4.0)]);
+        assert_eq!(v.iter().collect::<Vec<_>>(), vec![(0, 2.0), (1, 4.0)]);
     }
 
     #[test]

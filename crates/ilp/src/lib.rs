@@ -7,14 +7,56 @@
 //!
 //! * a modelling API ([`Model`], [`LinExpr`], [`VarId`]) for continuous,
 //!   general-integer and binary variables with bounds,
-//! * a dense **two-phase primal simplex** for the LP relaxations
-//!   ([`simplex`]), with Bland's anti-cycling rule,
+//! * a **sparse revised simplex** for the LP relaxations ([`simplex`]),
 //! * a **branch-and-bound** driver ([`MilpSolver`]) with depth-first
 //!   search, most-fractional branching, integral-objective ceiling bounds,
 //!   warm-start incumbents, node/time limits.
 //!
+//! # Revised-simplex architecture
+//!
+//! The paper's path-cover LPs are extremely sparse — each column touches
+//! a handful of degree/flow/cover rows — so the LP engine never builds a
+//! tableau:
+//!
+//! * **Storage.** The constraint matrix is lowered once to compressed
+//!   sparse column form ([`sparse::CscMatrix`], assembled through the
+//!   sorted-column builder [`SparseVec`]) as a prepared
+//!   [`simplex::SparseLp`]. Branch-and-bound re-solves that one object
+//!   under per-node bound vectors instead of cloning rows at every node.
+//! * **Bounds.** Variable bounds are handled natively: nonbasic variables
+//!   rest at a finite bound and may "bound-flip" without a basis change,
+//!   so finite upper bounds add no rows (the dense oracle adds one row
+//!   per bounded variable).
+//! * **Basis.** `B⁻¹` is a product-form eta file. FTRAN/BTRAN apply the
+//!   eta vectors forwards/backwards; after a few appended pivots the file
+//!   is rebuilt from the basis columns (partial pivoting, sparsest column
+//!   first) and the basic values are recomputed, which bounds fill-in and
+//!   numerical drift — and, on these highly degenerate models, keeps the
+//!   ratio test anchored to exact basic values (the rebuild cadence is a
+//!   measured trade-off, not just a hygiene knob).
+//! * **Pricing.** Projected steepest-edge (Devex) reference weights:
+//!   the entering column maximises `d²/w`, with weights updated from the
+//!   pivot row. A degenerate-pivot streak switches to **Bland's rule**
+//!   until progress resumes (and permanently after a large degenerate
+//!   total), which is what terminates classic cycling instances such as
+//!   Beale's example.
+//! * **Determinism.** No randomisation anywhere; fixed iteration order
+//!   and index-based tie-breaking make every solve a pure function of
+//!   `(problem, bounds, deadline behaviour)`.
+//! * **Limits.** [`MilpOptions::time_limit`] is enforced as a wall-clock
+//!   deadline *inside* the pivot loop (a single LP cannot overshoot the
+//!   budget; it returns [`simplex::LpStatus::TimeLimit`] with no partial
+//!   answer), and [`MilpOptions::node_limit`] bounds the tree size.
+//!   Nodes whose LP was cut short are reported in
+//!   [`SolveStats::limit_nodes`] — they are *pruned unproven*, so any
+//!   outcome with `limit_nodes > 0` is at best [`SolveStatus::Feasible`].
+//!
+//! The previous dense two-phase tableau solver survives as [`dense`], the
+//! reference oracle the `ilp_differential` proptest harness checks the
+//! revised simplex against.
+//!
 //! It is sized for the instances the paper's *hierarchical* flow produces
-//! (5×5 subblocks, a few hundred variables); it is not a general-purpose
+//! (subblocks up to a few hundred variables); it is not a general-purpose
 //! replacement for a commercial solver on huge direct formulations — that
 //! trade-off is exactly why the paper proposes the hierarchical model.
 //!
@@ -42,14 +84,16 @@
 #![warn(missing_docs)]
 
 mod branch_bound;
+pub mod dense;
 mod error;
 mod expr;
 mod model;
 pub mod simplex;
 mod solution;
+pub mod sparse;
 
 pub use branch_bound::{MilpOptions, MilpSolver};
 pub use error::IlpError;
-pub use expr::{LinExpr, VarId};
+pub use expr::{LinExpr, SparseVec, VarId};
 pub use model::{ConstraintOp, Model, Sense, VarKind};
 pub use solution::{MilpOutcome, Solution, SolveStats, SolveStatus};

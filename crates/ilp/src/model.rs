@@ -1,7 +1,9 @@
 //! MILP model description.
 
 use crate::error::IlpError;
-use crate::expr::{LinExpr, VarId};
+use crate::expr::{LinExpr, SparseVec, VarId};
+use crate::simplex::SparseLp;
+use crate::sparse::CscMatrix;
 
 /// Optimisation direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -202,6 +204,7 @@ impl Model {
         &self.vars
     }
 
+    #[cfg(test)]
     pub(crate) fn constraints(&self) -> &[Constraint] {
         &self.constraints
     }
@@ -214,6 +217,43 @@ impl Model {
                 c.fract() == 0.0
                     && matches!(self.vars[v.0].kind, VarKind::Binary | VarKind::Integer)
             })
+    }
+
+    /// Lowers the model to a prepared [`SparseLp`] plus its root bound
+    /// vectors, assembling the CSC constraint matrix straight from the
+    /// (already sparse) constraint expressions — no dense row or tableau
+    /// intermediate is ever built.
+    ///
+    /// The returned objective is in **minimisation form**: coefficients
+    /// are negated for [`Sense::Maximize`] models, and the objective
+    /// constant is dropped (callers re-evaluate reported objectives
+    /// through [`Model::objective`]).
+    pub fn to_sparse_lp(&self) -> (SparseLp, Vec<f64>, Vec<f64>) {
+        let n = self.vars.len();
+        let sign = match self.sense {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        let mut objective = vec![0.0; n];
+        for (v, c) in self.objective.terms() {
+            objective[v.0] = sign * c;
+        }
+        // Constraints are stored row-wise but arrive here column-sorted
+        // for free: scanning rows in index order pushes each column's
+        // entries in ascending row order, which is exactly the
+        // `SparseVec::push` contract (LinExpr terms are unique per row).
+        let mut columns = vec![SparseVec::new(); n];
+        for (i, c) in self.constraints.iter().enumerate() {
+            for (v, a) in c.expr.terms() {
+                columns[v.0].push(i, a);
+            }
+        }
+        let cols = CscMatrix::from_columns(self.constraints.len(), &columns);
+        let ops = self.constraints.iter().map(|c| c.op).collect();
+        let rhs = self.constraints.iter().map(|c| c.rhs).collect();
+        let lower = self.vars.iter().map(|v| v.lb).collect();
+        let upper = self.vars.iter().map(|v| v.ub).collect();
+        (SparseLp::new(objective, cols, ops, rhs), lower, upper)
     }
 
     /// Validates coefficients and variable references.
@@ -314,6 +354,27 @@ mod tests {
         let _x = m.binary_var("x");
         m.add_leq(LinExpr::from(foreign), 1.0);
         assert!(matches!(m.validate(), Err(IlpError::BadModel(_))));
+    }
+
+    #[test]
+    fn to_sparse_lp_applies_sense_and_keeps_sparsity() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.binary_var("x");
+        let y = m.integer_var("y", -1.0, 4.0);
+        let _gap = m.continuous_var("gap", 0.0, f64::INFINITY); // never referenced
+        m.add_leq(2.0 * x + y, 3.0);
+        m.add_geq(LinExpr::from(y), -1.0);
+        m.set_objective(3.0 * x - y + 10.0);
+        let (lp, lower, upper) = m.to_sparse_lp();
+        assert_eq!(lp.var_count(), 3);
+        assert_eq!(lp.row_count(), 2);
+        assert_eq!(lower, vec![0.0, -1.0, 0.0]);
+        assert_eq!(upper, vec![1.0, 4.0, f64::INFINITY]);
+        // Maximisation is lowered to minimisation: objective negated.
+        let sol = lp.solve(&lower, &upper, None);
+        assert_eq!(sol.status, crate::simplex::LpStatus::Optimal);
+        // max 3x - y: x = 1, y = -1 -> minimised form -4 (constant dropped).
+        assert!((sol.objective - (-4.0)).abs() < 1e-6, "{}", sol.objective);
     }
 
     #[test]

@@ -1,27 +1,74 @@
-//! Dense two-phase primal simplex for the LP relaxations.
+//! Sparse revised simplex for the LP relaxations.
 //!
-//! The solver works on [`LpProblem`]: minimise `c·x` subject to linear
-//! rows and per-variable bounds with **finite lower bounds** (upper bounds
-//! may be infinite). Internally variables are shifted to `x' = x − l ≥ 0`,
-//! finite upper bounds become extra rows, and a standard two-phase tableau
-//! simplex runs with Dantzig pricing and Bland's rule as the anti-cycling
-//! fallback.
+//! The solver works on [`LpProblem`] (or the prepared [`SparseLp`] form):
+//! minimise `c·x` subject to linear rows and per-variable bounds with
+//! **finite lower bounds** (upper bounds may be infinite). The path-cover
+//! models of the paper are extremely sparse — each column touches a
+//! handful of degree/flow/cover rows — so unlike the dense tableau oracle
+//! in [`crate::dense`], this implementation never materialises `B⁻¹`:
 //!
-//! This module is public so the branch-and-bound driver and the test suite
-//! can exercise it directly; library users normally go through
+//! * the constraint matrix is stored once in CSC form
+//!   ([`crate::sparse::CscMatrix`]); bounds are handled natively (nonbasic
+//!   variables sit at a finite bound), so no upper-bound rows are added;
+//! * every row gets one logical (slack) column — `Leq → s ∈ [0, ∞)`,
+//!   `Geq → s ∈ (−∞, 0]`, `Eq → s ∈ [0, 0]` — giving an identity cold
+//!   starting basis;
+//! * feasibility is restored by a **big-M-free primal phase 1**: basic
+//!   variables outside their bounds price with cost `∓1`, and the ratio
+//!   test lets them block (and leave) at the bound they are approaching.
+//!   Because this works from *any* basis, branch-and-bound warm-starts
+//!   every child node from its parent's optimal [`Basis`];
+//! * the basis inverse is a **product-form eta file** rebuilt (partial
+//!   pivoting, sparsest column first) every [`REFACTOR_EVERY`] *appended*
+//!   etas, at which point the basic values are recomputed to bound drift;
+//! * pricing is **projected steepest-edge (Devex)** — the entering column
+//!   maximises `d²/w` with reference weights updated from the pivot row —
+//!   falling back to **Bland's rule** while a degenerate streak persists
+//!   (and permanently after a large degenerate total), which terminates
+//!   classic cycling instances such as Beale's example.
+//!
+//! Determinism: all loops run in fixed index order, ties are broken by
+//! variable index (Bland) or largest pivot magnitude (otherwise), and no
+//! randomisation is used anywhere — a given `(problem, bounds, warm
+//! basis)` always performs the identical pivot sequence.
+//!
+//! This module is public so the branch-and-bound driver and the test
+//! suite can exercise it directly; library users normally go through
 //! [`crate::MilpSolver`].
 
+use crate::expr::SparseVec;
 use crate::model::ConstraintOp;
+use crate::sparse::CscMatrix;
+use std::time::Instant;
 
 /// Numerical tolerance for pivot selection and feasibility tests.
 pub const EPS: f64 = 1e-9;
-/// Tolerance used when comparing phase-1 objective against zero.
+/// Bound-violation tolerance: basic values within this of their bound
+/// count as feasible (phase-1 costs and ratio-test branches key off it).
 const FEAS_TOL: f64 = 1e-7;
+/// Reduced-cost threshold below which a column may enter.
+const DUAL_TOL: f64 = 1e-9;
+/// Entries smaller than this are dropped from eta vectors.
+const DROP_TOL: f64 = 1e-12;
+/// Pivots below this magnitude make a refactorization declare the basis
+/// numerically singular.
+const SING_TOL: f64 = 1e-10;
+/// Rebuild the eta file (and recompute basic values) once this many etas
+/// have been appended since the last rebuild. Deliberately small: the
+/// path-cover LPs are so degenerate that the exact basic values restored
+/// by each rebuild measurably steer the ratio test — larger cadences make
+/// individual pivots cheaper but balloon the pivot (and branch-and-bound
+/// node) count on the 5×5 instances.
+const REFACTOR_EVERY: usize = 8;
+/// Deadline polling stride inside the pivot loop.
+const DEADLINE_CHECK_EVERY: usize = 128;
+/// Consecutive degenerate pivots before Bland's rule engages.
+const DEGEN_STREAK_FOR_BLAND: usize = 48;
 
 /// One linear constraint row in sparse form.
 #[derive(Debug, Clone)]
 pub struct LpRow {
-    /// `(variable index, coefficient)` pairs; indices must be unique.
+    /// `(variable index, coefficient)` pairs; duplicate indices are summed.
     pub coeffs: Vec<(usize, f64)>,
     /// Relational operator.
     pub op: ConstraintOp,
@@ -51,8 +98,12 @@ pub enum LpStatus {
     Infeasible,
     /// Objective unbounded below.
     Unbounded,
-    /// Pivot limit exhausted (treat as a solver failure).
+    /// Pivot budget exhausted or numerical failure (treat as a solver
+    /// failure).
     IterationLimit,
+    /// The caller's wall-clock deadline passed mid-solve; no partial
+    /// answer is reported.
+    TimeLimit,
 }
 
 /// Result of [`solve`].
@@ -68,344 +119,942 @@ pub struct LpSolution {
     pub iterations: usize,
 }
 
-struct Tableau {
-    /// (m + 1) rows × (ncols + 1) columns, flat row-major; last column is
-    /// the RHS, last row the reduced-cost row.
-    data: Vec<f64>,
-    m: usize,
-    ncols: usize,
+impl LpSolution {
+    fn failed(status: LpStatus, n: usize, iterations: usize) -> Self {
+        LpSolution {
+            status,
+            x: vec![0.0; n],
+            objective: f64::NAN,
+            iterations,
+        }
+    }
+}
+
+/// An opaque basis snapshot from a successful solve, reusable as a warm
+/// start for a related solve (same matrix, different bounds) — the
+/// branch-and-bound access pattern. A stale or inconsistent snapshot is
+/// detected and silently replaced by the cold slack basis.
+#[derive(Debug, Clone)]
+pub struct Basis {
+    /// Basic variable per row position (structurals `0..n`, logicals
+    /// `n..n + m`).
     basis: Vec<usize>,
-    iterations: usize,
+    /// Which bound each variable rested at when snapshotted (`true` =
+    /// upper); only meaningful for nonbasic variables.
+    at_upper: Vec<bool>,
 }
 
-impl Tableau {
-    fn at(&self, r: usize, c: usize) -> f64 {
-        self.data[r * (self.ncols + 1) + c]
+/// A prepared LP: constraint matrix in CSC form plus row metadata, built
+/// **once** and then solved repeatedly under different variable bounds —
+/// exactly the access pattern of branch-and-bound, which previously
+/// re-cloned every row at every node.
+#[derive(Debug, Clone)]
+pub struct SparseLp {
+    objective: Vec<f64>,
+    cols: CscMatrix,
+    /// CSR mirror of `cols` (the transpose, column `i` = row `i`), kept
+    /// so the Devex pivot-row update can sweep row-wise and touch only
+    /// the columns intersecting the pivot row's support.
+    rows_csr: CscMatrix,
+    ops: Vec<ConstraintOp>,
+    rhs: Vec<f64>,
+}
+
+impl SparseLp {
+    /// Assembles a prepared LP from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions are inconsistent (`cols` must be
+    /// `ops.len() × objective.len()`).
+    pub fn new(
+        objective: Vec<f64>,
+        cols: CscMatrix,
+        ops: Vec<ConstraintOp>,
+        rhs: Vec<f64>,
+    ) -> Self {
+        assert_eq!(cols.ncols(), objective.len(), "objective length mismatch");
+        assert_eq!(cols.nrows(), ops.len(), "row op count mismatch");
+        assert_eq!(cols.nrows(), rhs.len(), "rhs count mismatch");
+        let rows_csr = cols.transpose();
+        SparseLp {
+            objective,
+            cols,
+            rows_csr,
+            ops,
+            rhs,
+        }
     }
 
-    fn set(&mut self, r: usize, c: usize, v: f64) {
-        self.data[r * (self.ncols + 1) + c] = v;
+    /// Converts a row-form [`LpProblem`] (bounds are supplied separately
+    /// at [`SparseLp::solve`] time).
+    /// # Panics
+    ///
+    /// Panics if a row references a variable outside the objective.
+    pub fn from_problem(p: &LpProblem) -> Self {
+        let n = p.objective.len();
+        let m = p.rows.len();
+        // Scatter the row-form coefficients into per-variable columns;
+        // `from_unsorted` sorts each column and sums duplicate row
+        // entries (the documented `LpRow::coeffs` semantics).
+        let mut columns: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for (i, row) in p.rows.iter().enumerate() {
+            for &(j, a) in &row.coeffs {
+                assert!(j < n, "row {i} references variable {j} of {n}");
+                columns[j].push((i, a));
+            }
+        }
+        let columns: Vec<SparseVec> = columns.into_iter().map(SparseVec::from_unsorted).collect();
+        SparseLp::new(
+            p.objective.clone(),
+            CscMatrix::from_columns(m, &columns),
+            p.rows.iter().map(|r| r.op).collect(),
+            p.rows.iter().map(|r| r.rhs).collect(),
+        )
     }
 
-    fn pivot(&mut self, pr: usize, pc: usize) {
-        let w = self.ncols + 1;
-        let pivot = self.at(pr, pc);
-        debug_assert!(pivot.abs() > EPS, "pivot too small: {pivot}");
-        let inv = 1.0 / pivot;
-        for c in 0..w {
-            self.data[pr * w + c] *= inv;
-        }
-        self.set(pr, pc, 1.0);
-        for r in 0..=self.m {
-            if r == pr {
-                continue;
-            }
-            let factor = self.at(r, pc);
-            if factor.abs() <= EPS {
-                self.set(r, pc, 0.0);
-                continue;
-            }
-            for c in 0..w {
-                let v = self.data[r * w + c] - factor * self.data[pr * w + c];
-                self.data[r * w + c] = v;
-            }
-            self.set(r, pc, 0.0);
-        }
-        self.basis[pr] = pc;
-        self.iterations += 1;
+    /// Number of structural variables.
+    pub fn var_count(&self) -> usize {
+        self.objective.len()
     }
 
-    /// Runs the pivot loop; `allowed` filters columns that may enter.
-    fn optimize(
-        &mut self,
-        allowed: impl Fn(usize) -> bool,
-        max_iters: usize,
-        deadline: Option<std::time::Instant>,
-    ) -> LpStatus {
-        let bland_after = 200 + 20 * self.m;
-        let mut local_iters = 0usize;
-        loop {
-            if local_iters > max_iters {
-                return LpStatus::IterationLimit;
-            }
-            // A single dense pivot on a large tableau is expensive, so a
-            // caller's wall-clock budget has to be enforced *inside* the
-            // pivot loop — checking only between branch-and-bound nodes
-            // lets one LP overshoot the limit by minutes.
-            if local_iters.is_multiple_of(128) {
-                if let Some(d) = deadline {
-                    if std::time::Instant::now() >= d {
-                        return LpStatus::IterationLimit;
-                    }
-                }
-            }
-            let use_bland = local_iters > bland_after;
-            // Entering column.
-            let zrow = self.m;
-            let mut entering: Option<usize> = None;
-            let mut best = -EPS;
-            for c in 0..self.ncols {
-                if !allowed(c) {
-                    continue;
-                }
-                let rc = self.at(zrow, c);
-                if use_bland {
-                    if rc < -EPS {
-                        entering = Some(c);
-                        break;
-                    }
-                } else if rc < best {
-                    best = rc;
-                    entering = Some(c);
-                }
-            }
-            let Some(pc) = entering else {
-                return LpStatus::Optimal;
-            };
-            // Ratio test.
-            let mut leaving: Option<usize> = None;
-            let mut best_ratio = f64::INFINITY;
-            for r in 0..self.m {
-                let a = self.at(r, pc);
-                if a > EPS {
-                    let ratio = self.at(r, self.ncols) / a;
-                    let better = ratio < best_ratio - EPS
-                        || (ratio < best_ratio + EPS
-                            && leaving.is_some_and(|lr| self.basis[r] < self.basis[lr]));
-                    if better {
-                        best_ratio = ratio;
-                        leaving = Some(r);
-                    }
-                }
-            }
-            let Some(pr) = leaving else {
-                return LpStatus::Unbounded;
-            };
-            self.pivot(pr, pc);
-            local_iters += 1;
-        }
+    /// The (minimisation-form) objective coefficients.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// Number of constraint rows.
+    pub fn row_count(&self) -> usize {
+        self.rhs.len()
+    }
+
+    /// Solves under the given variable bounds with the revised simplex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bound slices do not match [`SparseLp::var_count`] or
+    /// a lower bound is not finite.
+    pub fn solve(&self, lower: &[f64], upper: &[f64], deadline: Option<Instant>) -> LpSolution {
+        self.engine().solve(lower, upper, deadline, None).0
+    }
+
+    /// A reusable [`SimplexEngine`] over this LP. Callers that solve the
+    /// same matrix many times under changing bounds (branch-and-bound)
+    /// should create the engine once: its factorization, pricing weights
+    /// and scratch buffers persist between solves.
+    pub fn engine(&self) -> SimplexEngine<'_> {
+        SimplexEngine::new(self)
     }
 }
 
-/// Solves the LP with a two-phase dense primal simplex.
+/// Solves the LP with the sparse revised simplex.
 ///
 /// # Panics
 ///
-/// Panics if the problem arrays have inconsistent lengths, a lower bound is
-/// not finite, or a coefficient is NaN (callers are expected to validate
-/// with [`crate::Model::validate`] first).
+/// Panics if the problem arrays have inconsistent lengths, a lower bound
+/// is not finite, or a coefficient is NaN (callers are expected to
+/// validate with [`crate::Model::validate`] first).
 pub fn solve(p: &LpProblem) -> LpSolution {
     solve_with_deadline(p, None)
 }
 
-/// Like [`solve`], but gives up with [`LpStatus::IterationLimit`] once
+/// Like [`solve`], but gives up with [`LpStatus::TimeLimit`] once
 /// `deadline` passes (checked inside the pivot loop, so a single large LP
 /// cannot overshoot a caller's wall-clock budget).
 ///
 /// # Panics
 ///
 /// Same contract as [`solve`].
-pub fn solve_with_deadline(p: &LpProblem, deadline: Option<std::time::Instant>) -> LpSolution {
-    let n = p.objective.len();
-    assert_eq!(p.lower.len(), n, "lower bound count mismatch");
-    assert_eq!(p.upper.len(), n, "upper bound count mismatch");
-    assert!(
-        p.lower.iter().all(|l| l.is_finite()),
-        "lower bounds must be finite"
-    );
+pub fn solve_with_deadline(p: &LpProblem, deadline: Option<Instant>) -> LpSolution {
+    SparseLp::from_problem(p).solve(&p.lower, &p.upper, deadline)
+}
 
-    // Shift variables: x = x' + l, x' >= 0. Collect all rows, including
-    // upper-bound rows, as (coeffs, op, rhs) over x'.
-    struct Row {
-        coeffs: Vec<(usize, f64)>,
-        op: ConstraintOp,
-        rhs: f64,
+/// Where a nonbasic variable currently rests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VStat {
+    Basic,
+    AtLower,
+    AtUpper,
+}
+
+/// One product-form elementary matrix: pivoting column `w` on row
+/// `pivot_row` (entries hold `w[i]` for `i ≠ pivot_row`).
+struct Eta {
+    pivot_row: usize,
+    pivot_val: f64,
+    entries: Vec<(usize, f64)>,
+}
+
+impl Eta {
+    /// `v ← E v` (forward transformation step).
+    #[inline]
+    fn ftran(&self, v: &mut [f64]) {
+        let t = v[self.pivot_row] / self.pivot_val;
+        if t != 0.0 {
+            for &(i, w) in &self.entries {
+                v[i] -= w * t;
+            }
+        }
+        v[self.pivot_row] = t;
     }
-    let mut rows: Vec<Row> = Vec::with_capacity(p.rows.len() + n);
-    for row in &p.rows {
-        let shift: f64 = row.coeffs.iter().map(|&(j, a)| a * p.lower[j]).sum();
-        rows.push(Row {
-            coeffs: row.coeffs.clone(),
-            op: row.op,
-            rhs: row.rhs - shift,
-        });
+
+    /// `v ← Eᵀ v` (backward transformation step).
+    #[inline]
+    fn btran(&self, v: &mut [f64]) {
+        let mut t = v[self.pivot_row];
+        for &(i, w) in &self.entries {
+            t -= w * v[i];
+        }
+        v[self.pivot_row] = t / self.pivot_val;
     }
-    for j in 0..n {
-        if p.upper[j].is_finite() {
-            let span = p.upper[j] - p.lower[j];
-            rows.push(Row {
-                coeffs: vec![(j, 1.0)],
-                op: ConstraintOp::Leq,
-                rhs: span,
+}
+
+/// Outcome of the bounded-variable ratio test.
+enum Ratio {
+    /// Entering variable travels its whole span to the opposite bound; no
+    /// basis change.
+    BoundFlip,
+    /// Basic variable at `pos` blocks after `theta`; it leaves to its
+    /// upper bound when `to_upper`.
+    Pivot {
+        pos: usize,
+        theta: f64,
+        to_upper: bool,
+    },
+    /// Nothing blocks and the span is infinite.
+    Unbounded,
+}
+
+/// Reusable revised-simplex state over one [`SparseLp`].
+///
+/// The engine owns the factorization (eta file), pricing weights and all
+/// scratch buffers, so a sequence of related solves — branch-and-bound
+/// nodes — pays the setup cost once. When a solve is warm-started from
+/// the basis the engine already holds (the common case: a DFS child
+/// popped right after its parent), the factorization is reused as-is and
+/// only the basic values are recomputed under the new bounds.
+pub struct SimplexEngine<'a> {
+    lp: &'a SparseLp,
+    m: usize,
+    /// Structural variable count; logicals are `n..n + m`.
+    n: usize,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    /// Phase-2 cost per variable (objective on structurals, 0 logicals).
+    cost: Vec<f64>,
+    x: Vec<f64>,
+    stat: Vec<VStat>,
+    /// Basic variable per row position.
+    basis: Vec<usize>,
+    etas: Vec<Eta>,
+    /// Eta-file length right after the last refactorization: the rebuilt
+    /// base holds one eta per structural basic column, so the periodic
+    /// refactor trigger must count only etas *appended* since (comparing
+    /// the total length against the cadence would re-trigger on every
+    /// pivot once the basis carries more structurals than the cadence).
+    base_etas: usize,
+    /// Whether (basis, etas) are currently coherent.
+    factored: bool,
+    /// Devex reference weights per variable.
+    weights: Vec<f64>,
+    /// Scratch for the Devex pivot-row BTRAN.
+    rho: Vec<f64>,
+    /// Scratch: simplex multipliers.
+    y: Vec<f64>,
+    /// Scratch: FTRAN'd entering column.
+    alpha: Vec<f64>,
+    /// Scratch: pivot-row entries `ρᵀa_j` per structural column (reset
+    /// via `touched` after every Devex update).
+    abar: Vec<f64>,
+    /// Scratch: whether `abar[j]` currently holds a live accumulation.
+    abar_seen: Vec<bool>,
+    /// Scratch: structural columns touched by the current pivot row.
+    touched: Vec<usize>,
+    iterations: usize,
+    total_degen: usize,
+}
+
+impl<'a> SimplexEngine<'a> {
+    fn new(lp: &'a SparseLp) -> Self {
+        let n = lp.var_count();
+        let m = lp.row_count();
+        let ntotal = n + m;
+        let mut lower = vec![0.0; ntotal];
+        let mut upper = vec![0.0; ntotal];
+        for (i, op) in lp.ops.iter().enumerate() {
+            let (lo, hi) = match op {
+                ConstraintOp::Leq => (0.0, f64::INFINITY),
+                ConstraintOp::Geq => (f64::NEG_INFINITY, 0.0),
+                ConstraintOp::Eq => (0.0, 0.0),
+            };
+            lower[n + i] = lo;
+            upper[n + i] = hi;
+        }
+        let mut cost = vec![0.0; ntotal];
+        cost[..n].copy_from_slice(&lp.objective);
+        SimplexEngine {
+            lp,
+            m,
+            n,
+            lower,
+            upper,
+            cost,
+            x: vec![0.0; ntotal],
+            stat: vec![VStat::AtLower; ntotal],
+            basis: Vec::with_capacity(m),
+            etas: Vec::new(),
+            base_etas: 0,
+            factored: false,
+            weights: vec![1.0; ntotal],
+            rho: vec![0.0; m],
+            y: vec![0.0; m],
+            alpha: Vec::with_capacity(m),
+            abar: vec![0.0; n],
+            abar_seen: vec![false; n],
+            touched: Vec::new(),
+            iterations: 0,
+            total_degen: 0,
+        }
+    }
+
+    /// Solves under the given bounds, optionally warm-starting from a
+    /// basis snapshot of a previous solve. On [`LpStatus::Optimal`] the
+    /// final basis is returned for reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bound slices do not match the LP's variable count or
+    /// a lower bound is not finite.
+    pub fn solve(
+        &mut self,
+        lower_s: &[f64],
+        upper_s: &[f64],
+        deadline: Option<Instant>,
+        warm: Option<&Basis>,
+    ) -> (LpSolution, Option<Basis>) {
+        let n = self.n;
+        assert_eq!(lower_s.len(), n, "lower bound count mismatch");
+        assert_eq!(upper_s.len(), n, "upper bound count mismatch");
+        assert!(
+            lower_s.iter().all(|l| l.is_finite()),
+            "lower bounds must be finite"
+        );
+        // An empty variable domain (branch-and-bound can produce one when
+        // tightening bounds) makes the whole LP infeasible; the pivot
+        // machinery assumes lower <= upper everywhere, so answer here.
+        if lower_s.iter().zip(upper_s).any(|(l, u)| l > u) {
+            return (LpSolution::failed(LpStatus::Infeasible, n, 0), None);
+        }
+        self.lower[..n].copy_from_slice(lower_s);
+        self.upper[..n].copy_from_slice(upper_s);
+        self.iterations = 0;
+        self.total_degen = 0;
+
+        // Basis selection: reuse the live factorization when the caller
+        // hands back exactly the basis this engine last held; otherwise
+        // install and refactorize the snapshot; otherwise start cold from
+        // the slack basis (which phase 1 can always repair).
+        let reuse = self.factored
+            && warm.is_some_and(|w| w.basis == self.basis && w.at_upper.len() == self.n + self.m);
+        if reuse {
+            self.reclamp_nonbasics();
+            self.recompute_basic_values();
+        } else if !(warm.is_some_and(|w| self.install_basis(w)) && self.refactorize().is_ok()) {
+            self.cold_start();
+        }
+
+        let max_iters = 2000 + 60 * (self.m + self.n + self.m);
+
+        // Phase 1 (only when some basic value violates its bounds).
+        if self.has_violations() {
+            let status = self.optimize(true, max_iters, deadline);
+            if status != LpStatus::Optimal {
+                return (LpSolution::failed(status, n, self.iterations), None);
+            }
+            if self.has_violations() {
+                return (
+                    LpSolution::failed(LpStatus::Infeasible, n, self.iterations),
+                    None,
+                );
+            }
+        }
+
+        // Phase 2: the real objective.
+        let status = self.optimize(false, max_iters, deadline);
+        if status != LpStatus::Optimal {
+            return (LpSolution::failed(status, n, self.iterations), None);
+        }
+
+        let x: Vec<f64> = self.x[..n].to_vec();
+        let objective = self.lp.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
+        let snapshot = Basis {
+            basis: self.basis.clone(),
+            at_upper: self.stat.iter().map(|&s| s == VStat::AtUpper).collect(),
+        };
+        (
+            LpSolution {
+                status: LpStatus::Optimal,
+                x,
+                objective,
+                iterations: self.iterations,
+            },
+            Some(snapshot),
+        )
+    }
+
+    /// Cold start: every logical basic, every structural at its lower
+    /// bound; the factorization of the diagonal slack basis is empty.
+    fn cold_start(&mut self) {
+        self.basis.clear();
+        for j in 0..self.n {
+            self.stat[j] = VStat::AtLower;
+            self.x[j] = self.lower[j];
+        }
+        for i in 0..self.m {
+            self.basis.push(self.n + i);
+            self.stat[self.n + i] = VStat::Basic;
+        }
+        self.etas.clear();
+        self.base_etas = 0;
+        self.factored = true;
+        self.recompute_basic_values();
+    }
+
+    /// Re-rests every nonbasic variable on a finite bound under the
+    /// current (possibly tightened) bound vectors, keeping its side where
+    /// possible.
+    fn reclamp_nonbasics(&mut self) {
+        for j in 0..self.n + self.m {
+            let prefer_upper = match self.stat[j] {
+                VStat::Basic => continue,
+                VStat::AtUpper => true,
+                VStat::AtLower => false,
+            };
+            let (stat, value) = if prefer_upper && self.upper[j].is_finite() {
+                (VStat::AtUpper, self.upper[j])
+            } else if self.lower[j].is_finite() {
+                (VStat::AtLower, self.lower[j])
+            } else {
+                (VStat::AtUpper, self.upper[j])
+            };
+            self.stat[j] = stat;
+            self.x[j] = value;
+        }
+    }
+
+    /// Tries to adopt a snapshot; `false` when it is structurally unusable.
+    fn install_basis(&mut self, warm: &Basis) -> bool {
+        let ntotal = self.n + self.m;
+        if warm.basis.len() != self.m || warm.at_upper.len() != ntotal {
+            return false;
+        }
+        let mut seen = vec![false; ntotal];
+        for &v in &warm.basis {
+            if v >= ntotal || seen[v] {
+                return false;
+            }
+            seen[v] = true;
+        }
+        self.basis.clear();
+        self.basis.extend_from_slice(&warm.basis);
+        for (j, &basic) in seen.iter().enumerate() {
+            self.stat[j] = if basic {
+                VStat::Basic
+            } else if warm.at_upper[j] {
+                VStat::AtUpper
+            } else {
+                VStat::AtLower
+            };
+        }
+        self.reclamp_nonbasics();
+        true
+    }
+
+    /// Whether any basic value sits outside its bounds beyond [`FEAS_TOL`].
+    fn has_violations(&self) -> bool {
+        self.basis
+            .iter()
+            .any(|&v| self.x[v] < self.lower[v] - FEAS_TOL || self.x[v] > self.upper[v] + FEAS_TOL)
+    }
+
+    /// Visits the `(row, value)` entries of column `j` (structural or
+    /// logical).
+    #[inline]
+    fn for_col(&self, j: usize, mut f: impl FnMut(usize, f64)) {
+        if j < self.n {
+            for (r, v) in self.lp.cols.col(j) {
+                f(r, v);
+            }
+        } else {
+            f(j - self.n, 1.0);
+        }
+    }
+
+    /// Sparse dot of column `j` with a dense vector.
+    #[inline]
+    fn col_dot(&self, j: usize, dense: &[f64]) -> f64 {
+        if j < self.n {
+            self.lp.cols.col_dot(j, dense)
+        } else {
+            dense[j - self.n]
+        }
+    }
+
+    /// `out = B⁻¹ · column j` through the eta file.
+    fn ftran_col(&self, j: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.m, 0.0);
+        self.for_col(j, |r, v| out[r] += v);
+        for e in &self.etas {
+            e.ftran(out);
+        }
+    }
+
+    /// `v ← B⁻ᵀ v` through the eta file.
+    fn btran(&self, v: &mut [f64]) {
+        for e in self.etas.iter().rev() {
+            e.btran(v);
+        }
+    }
+
+    /// Rebuilds the eta file from the current basis (unit columns first,
+    /// then structural columns sparsest-first with partial pivoting) and
+    /// recomputes the basic values, bounding numerical drift.
+    ///
+    /// Errors when the basis is numerically singular.
+    fn refactorize(&mut self) -> Result<(), ()> {
+        let m = self.m;
+        // The file is torn down first, so the engine is incoherent until
+        // the rebuild completes: mark it so a failure can never be
+        // mistaken for a live factorization (the warm-reuse path in
+        // `solve` and the appended-eta trigger both key off `factored`).
+        self.factored = false;
+        self.etas.clear();
+        let mut taken = vec![false; m];
+        let mut new_basis = vec![usize::MAX; m];
+        let mut pending: Vec<usize> = Vec::new();
+        for p in 0..m {
+            let v = self.basis[p];
+            if v >= self.n {
+                // Logical column: a unit vector on its own row, no eta.
+                let row = v - self.n;
+                if taken[row] {
+                    return Err(());
+                }
+                taken[row] = true;
+                new_basis[row] = v;
+            } else {
+                pending.push(v);
+            }
+        }
+        // Sparsest columns first keeps the eta file short.
+        pending.sort_unstable_by_key(|&v| (self.lp.cols.col_nnz(v), v));
+        let mut w = vec![0.0; m];
+        for &v in &pending {
+            w.iter_mut().for_each(|e| *e = 0.0);
+            self.for_col(v, |r, val| w[r] += val);
+            for e in &self.etas {
+                e.ftran(&mut w);
+            }
+            let mut pr = usize::MAX;
+            let mut best = SING_TOL;
+            for (p, &used) in taken.iter().enumerate().take(m) {
+                if !used && w[p].abs() > best {
+                    best = w[p].abs();
+                    pr = p;
+                }
+            }
+            if pr == usize::MAX {
+                return Err(());
+            }
+            taken[pr] = true;
+            new_basis[pr] = v;
+            let entries: Vec<(usize, f64)> = (0..m)
+                .filter(|&i| i != pr && w[i].abs() > DROP_TOL)
+                .map(|i| (i, w[i]))
+                .collect();
+            self.etas.push(Eta {
+                pivot_row: pr,
+                pivot_val: w[pr],
+                entries,
             });
         }
+        self.base_etas = self.etas.len();
+        self.basis = new_basis;
+        self.factored = true;
+        self.recompute_basic_values();
+        Ok(())
     }
 
-    // Normalise RHS to be non-negative.
-    for row in &mut rows {
-        if row.rhs < 0.0 {
-            row.rhs = -row.rhs;
-            for (_, a) in &mut row.coeffs {
-                *a = -*a;
+    /// Recomputes `x_B = B⁻¹ (b − N x_N)` from the nonbasic values.
+    fn recompute_basic_values(&mut self) {
+        let mut r = self.lp.rhs.clone();
+        for j in 0..self.n + self.m {
+            if self.stat[j] == VStat::Basic {
+                continue;
             }
-            row.op = match row.op {
-                ConstraintOp::Leq => ConstraintOp::Geq,
-                ConstraintOp::Geq => ConstraintOp::Leq,
-                ConstraintOp::Eq => ConstraintOp::Eq,
+            let xj = self.x[j];
+            if xj != 0.0 {
+                self.for_col(j, |row, v| r[row] -= v * xj);
+            }
+        }
+        for e in &self.etas {
+            e.ftran(&mut r);
+        }
+        for (&v, &val) in self.basis.iter().zip(&r) {
+            self.x[v] = val;
+        }
+    }
+
+    /// Picks the entering variable: Devex `d²/w` score, or the
+    /// lowest-index eligible column under Bland's rule. In phase 1 all
+    /// nonbasic costs are zero, so `d_j = −yᵀa_j`.
+    fn price(&self, y: &[f64], phase1: bool, bland: bool) -> Option<(usize, i8)> {
+        let mut best: Option<(usize, i8)> = None;
+        let mut best_score = 0.0;
+        for j in 0..self.n + self.m {
+            let dir = match self.stat[j] {
+                VStat::Basic => continue,
+                VStat::AtLower => 1i8,
+                VStat::AtUpper => -1i8,
             };
+            if self.lower[j] == self.upper[j] {
+                continue; // fixed (e.g. Eq logicals) never re-enter
+            }
+            let c = if phase1 { 0.0 } else { self.cost[j] };
+            let d = c - self.col_dot(j, y);
+            let eligible = if dir == 1 {
+                d < -DUAL_TOL
+            } else {
+                d > DUAL_TOL
+            };
+            if !eligible {
+                continue;
+            }
+            if bland {
+                return Some((j, dir));
+            }
+            let score = d * d / self.weights[j];
+            if score > best_score {
+                best_score = score;
+                best = Some((j, dir));
+            }
+        }
+        best
+    }
+
+    /// Bounded-variable ratio test along `±B⁻¹a_q`. In phase 1, a basic
+    /// variable outside its bounds blocks at the violated bound it is
+    /// moving towards (restoring its feasibility as it leaves the basis)
+    /// and never blocks when moving further away.
+    fn ratio_test(&self, q: usize, dir: i8, alpha: &[f64], phase1: bool, bland: bool) -> Ratio {
+        let span = self.upper[q] - self.lower[q];
+        let d = f64::from(dir);
+        let mut pivot_theta = f64::INFINITY;
+        let mut pos = usize::MAX;
+        let mut pos_alpha = 0.0f64;
+        let mut to_upper = false;
+        for (p, &a) in alpha.iter().enumerate() {
+            if a.abs() <= EPS {
+                continue;
+            }
+            let rate = -d * a; // dx_B[p] per unit θ
+            let v = self.basis[p];
+            let xv = self.x[v];
+            let (lo, hi) = (self.lower[v], self.upper[v]);
+            let (bound, hits_upper) = if rate > 0.0 {
+                // Moving up: a variable below its lower bound regains
+                // feasibility at `lo`; a feasible one blocks at `hi`; one
+                // above `hi` is moving further away only in phase 1
+                // pricing terms — it must not block behind itself.
+                if phase1 && xv < lo - FEAS_TOL {
+                    (lo, false)
+                } else if xv <= hi + FEAS_TOL {
+                    if hi == f64::INFINITY {
+                        continue;
+                    }
+                    (hi, true)
+                } else {
+                    continue;
+                }
+            } else {
+                // Moving down, mirror image.
+                if phase1 && xv > hi + FEAS_TOL {
+                    (hi, true)
+                } else if xv >= lo - FEAS_TOL {
+                    if lo == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    (lo, false)
+                } else {
+                    continue;
+                }
+            };
+            let ratio = ((bound - xv) / rate).max(0.0);
+            let take = if pos == usize::MAX {
+                ratio < pivot_theta
+            } else if ratio < pivot_theta - EPS {
+                true
+            } else if ratio <= pivot_theta + EPS {
+                if bland {
+                    v < self.basis[pos]
+                } else {
+                    a.abs() > pos_alpha.abs()
+                }
+            } else {
+                false
+            };
+            if take {
+                pivot_theta = pivot_theta.min(ratio);
+                pos = p;
+                pos_alpha = a;
+                to_upper = hits_upper;
+            }
+        }
+        if span <= pivot_theta {
+            if span.is_infinite() {
+                return Ratio::Unbounded;
+            }
+            return Ratio::BoundFlip;
+        }
+        if pos == usize::MAX {
+            return Ratio::Unbounded;
+        }
+        Ratio::Pivot {
+            pos,
+            theta: pivot_theta,
+            to_upper,
         }
     }
 
-    let m = rows.len();
-    // Column layout: structural (n) | slack/surplus (one per Leq/Geq row) |
-    // artificial (one per Geq/Eq row).
-    let mut n_slack = 0usize;
-    let mut n_art = 0usize;
-    for row in &rows {
-        match row.op {
-            ConstraintOp::Leq => n_slack += 1,
-            ConstraintOp::Geq => {
-                n_slack += 1;
-                n_art += 1;
+    /// Devex weight update from the pivot row, done against the **old**
+    /// basis (before the new eta is appended).
+    ///
+    /// The pivot row `ρᵀA` (with `ρ = B⁻ᵀe_r`) is accumulated through the
+    /// CSR mirror: only rows with `ρ_i ≠ 0` are swept, so only columns
+    /// intersecting the pivot row's support are touched — a dense scan
+    /// over every column (the former second-largest per-pivot cost after
+    /// pricing) degenerates to work proportional to the row's fill-in.
+    fn devex_update(&mut self, q: usize, alpha: &[f64], r: usize) {
+        let ar = alpha[r];
+        let gamma = self.weights[q].max(1.0);
+        self.rho.iter_mut().for_each(|e| *e = 0.0);
+        self.rho[r] = 1.0;
+        let mut rho = std::mem::take(&mut self.rho);
+        self.btran(&mut rho);
+        let mut abar = std::mem::take(&mut self.abar);
+        let mut seen = std::mem::take(&mut self.abar_seen);
+        let mut touched = std::mem::take(&mut self.touched);
+        for (i, &rv) in rho.iter().enumerate() {
+            if rv == 0.0 {
+                continue;
             }
-            ConstraintOp::Eq => n_art += 1,
-        }
-    }
-    let ncols = n + n_slack + n_art;
-    let w = ncols + 1;
-    let mut t = Tableau {
-        data: vec![0.0; (m + 1) * w],
-        m,
-        ncols,
-        basis: vec![usize::MAX; m],
-        iterations: 0,
-    };
-
-    let art_start = n + n_slack;
-    let mut slack_next = n;
-    let mut art_next = art_start;
-    for (r, row) in rows.iter().enumerate() {
-        for &(j, a) in &row.coeffs {
-            let cur = t.at(r, j);
-            t.set(r, j, cur + a);
-        }
-        t.set(r, ncols, row.rhs);
-        match row.op {
-            ConstraintOp::Leq => {
-                t.set(r, slack_next, 1.0);
-                t.basis[r] = slack_next;
-                slack_next += 1;
+            // Structural columns crossing row i (per-column contributions
+            // accumulate in ascending row order, matching a direct
+            // column-wise dot product exactly).
+            for (j, a) in self.lp.rows_csr.col(i) {
+                if !seen[j] {
+                    seen[j] = true;
+                    abar[j] = 0.0;
+                    touched.push(j);
+                }
+                abar[j] += a * rv;
             }
-            ConstraintOp::Geq => {
-                t.set(r, slack_next, -1.0);
-                slack_next += 1;
-                t.set(r, art_next, 1.0);
-                t.basis[r] = art_next;
-                art_next += 1;
-            }
-            ConstraintOp::Eq => {
-                t.set(r, art_next, 1.0);
-                t.basis[r] = art_next;
-                art_next += 1;
-            }
-        }
-    }
-
-    let max_iters = 2000 + 60 * (m + ncols);
-
-    // Phase 1: minimise the sum of artificials.
-    if n_art > 0 {
-        for c in art_start..ncols {
-            t.set(m, c, 1.0);
-        }
-        // Zero out reduced costs of the basic artificials.
-        for r in 0..m {
-            if t.basis[r] >= art_start {
-                let w2 = ncols + 1;
-                for c in 0..w2 {
-                    let v = t.data[m * w2 + c] - t.data[r * w2 + c];
-                    t.data[m * w2 + c] = v;
+            // The logical column of row i is the unit vector e_i.
+            let j = self.n + i;
+            if self.stat[j] != VStat::Basic && j != q && self.lower[j] != self.upper[j] {
+                let cand = (rv / ar) * (rv / ar) * gamma;
+                if cand > self.weights[j] {
+                    self.weights[j] = cand;
                 }
             }
         }
-        let status = t.optimize(|_| true, max_iters, deadline);
-        if status == LpStatus::IterationLimit {
-            return LpSolution {
-                status,
-                x: vec![0.0; n],
-                objective: f64::NAN,
-                iterations: t.iterations,
-            };
-        }
-        let phase1_obj = -t.at(m, ncols);
-        if phase1_obj > FEAS_TOL {
-            return LpSolution {
-                status: LpStatus::Infeasible,
-                x: vec![0.0; n],
-                objective: f64::NAN,
-                iterations: t.iterations,
-            };
-        }
-        // Pivot basic artificials out where possible.
-        for r in 0..m {
-            if t.basis[r] >= art_start {
-                if let Some(c) = (0..art_start).find(|&c| t.at(r, c).abs() > 1e-7) {
-                    t.pivot(r, c);
-                }
-                // If no pivot column exists the row is redundant; the
-                // artificial stays basic at value 0, which is harmless as
-                // long as artificial columns never re-enter (guaranteed by
-                // the `allowed` filter below).
+        for &j in &touched {
+            seen[j] = false;
+            if self.stat[j] == VStat::Basic || j == q || self.lower[j] == self.upper[j] {
+                continue;
             }
+            let ab = abar[j];
+            if ab != 0.0 {
+                let cand = (ab / ar) * (ab / ar) * gamma;
+                if cand > self.weights[j] {
+                    self.weights[j] = cand;
+                }
+            }
+        }
+        touched.clear();
+        self.abar = abar;
+        self.abar_seen = seen;
+        self.touched = touched;
+        self.rho = rho;
+        self.weights[self.basis[r]] = (gamma / (ar * ar)).max(1.0);
+        if self.weights.iter().any(|&w| w > 1e8) {
+            self.weights.iter_mut().for_each(|w| *w = 1.0);
         }
     }
 
-    // Phase 2: install the real objective row.
-    {
-        let w2 = ncols + 1;
-        for c in 0..w2 {
-            t.data[m * w2 + c] = 0.0;
+    /// Executes a basis-changing pivot: updates values, statuses, the
+    /// basis map, and appends the eta for `alpha`.
+    fn apply_pivot(
+        &mut self,
+        q: usize,
+        dir: i8,
+        alpha: &[f64],
+        pos: usize,
+        theta: f64,
+        to_upper: bool,
+    ) {
+        let d = f64::from(dir);
+        if theta != 0.0 {
+            for (p, &a) in alpha.iter().enumerate() {
+                if a != 0.0 {
+                    let v = self.basis[p];
+                    self.x[v] -= d * theta * a;
+                }
+            }
+            self.x[q] += d * theta;
         }
-        for (j, &cost) in p.objective.iter().enumerate() {
-            t.set(m, j, cost);
+        let leaving = self.basis[pos];
+        // Snap the leaver exactly onto the bound it hit.
+        self.x[leaving] = if to_upper {
+            self.upper[leaving]
+        } else {
+            self.lower[leaving]
+        };
+        self.stat[leaving] = if to_upper {
+            VStat::AtUpper
+        } else {
+            VStat::AtLower
+        };
+        self.stat[q] = VStat::Basic;
+        self.basis[pos] = q;
+        let entries: Vec<(usize, f64)> = alpha
+            .iter()
+            .enumerate()
+            .filter(|&(p, &a)| p != pos && a.abs() > DROP_TOL)
+            .map(|(p, &a)| (p, a))
+            .collect();
+        self.etas.push(Eta {
+            pivot_row: pos,
+            pivot_val: alpha[pos],
+            entries,
+        });
+    }
+
+    /// Moves the entering variable across its whole span to the opposite
+    /// bound; the basis is unchanged.
+    fn apply_bound_flip(&mut self, q: usize, dir: i8, alpha: &[f64]) {
+        let d = f64::from(dir);
+        let span = self.upper[q] - self.lower[q];
+        for (p, &a) in alpha.iter().enumerate() {
+            if a != 0.0 {
+                let v = self.basis[p];
+                self.x[v] -= d * span * a;
+            }
         }
-        for r in 0..m {
-            let b = t.basis[r];
-            if b < n {
-                let cost = p.objective[b];
-                if cost != 0.0 {
-                    for c in 0..w2 {
-                        let v = t.data[m * w2 + c] - cost * t.data[r * w2 + c];
-                        t.data[m * w2 + c] = v;
+        if dir == 1 {
+            self.x[q] = self.upper[q];
+            self.stat[q] = VStat::AtUpper;
+        } else {
+            self.x[q] = self.lower[q];
+            self.stat[q] = VStat::AtLower;
+        }
+    }
+
+    /// The simplex pivot loop for one phase. Phase 1 minimises the total
+    /// bound violation of the basic variables (big-M-free: costs are ∓1
+    /// on violated basics, recomputed every iteration) and returns
+    /// `Optimal` as soon as the basis is primal feasible; phase 2 runs
+    /// the real objective.
+    fn optimize(&mut self, phase1: bool, max_iters: usize, deadline: Option<Instant>) -> LpStatus {
+        // After this many degenerate pivots in total, stay on Bland's rule
+        // for good — unconditional termination beats pricing quality.
+        let bland_forever_after = 1000 + 10 * (self.m + self.n);
+        let mut local = 0usize;
+        let mut degen_streak = 0usize;
+        let mut y = std::mem::take(&mut self.y);
+        let mut alpha = std::mem::take(&mut self.alpha);
+        y.clear();
+        y.resize(self.m, 0.0);
+        let status = loop {
+            if local > max_iters {
+                break LpStatus::IterationLimit;
+            }
+            if local.is_multiple_of(DEADLINE_CHECK_EVERY) {
+                if let Some(dl) = deadline {
+                    if Instant::now() >= dl {
+                        break LpStatus::TimeLimit;
                     }
                 }
             }
-        }
-    }
-    let status = t.optimize(|c| c < art_start, max_iters, deadline);
-    if status != LpStatus::Optimal {
-        return LpSolution {
-            status,
-            x: vec![0.0; n],
-            objective: f64::NAN,
-            iterations: t.iterations,
+            if self.etas.len().saturating_sub(self.base_etas) >= REFACTOR_EVERY
+                && self.refactorize().is_err()
+            {
+                break LpStatus::IterationLimit;
+            }
+            let bland =
+                degen_streak > DEGEN_STREAK_FOR_BLAND || self.total_degen > bland_forever_after;
+            // Simplex multipliers for the phase's cost vector.
+            let mut any_violation = false;
+            for (yp, &v) in y.iter_mut().zip(&self.basis) {
+                *yp = if phase1 {
+                    if self.x[v] < self.lower[v] - FEAS_TOL {
+                        any_violation = true;
+                        -1.0
+                    } else if self.x[v] > self.upper[v] + FEAS_TOL {
+                        any_violation = true;
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    self.cost[v]
+                };
+            }
+            if phase1 && !any_violation {
+                break LpStatus::Optimal;
+            }
+            self.btran(&mut y);
+            let Some((q, dir)) = self.price(&y, phase1, bland) else {
+                break LpStatus::Optimal;
+            };
+            self.ftran_col(q, &mut alpha);
+            match self.ratio_test(q, dir, &alpha, phase1, bland) {
+                Ratio::Unbounded => {
+                    // Phase-1 infeasibility is bounded below by zero; an
+                    // unbounded ray there is numerical breakage, not a
+                    // certificate.
+                    break if phase1 {
+                        LpStatus::IterationLimit
+                    } else {
+                        LpStatus::Unbounded
+                    };
+                }
+                Ratio::BoundFlip => {
+                    self.apply_bound_flip(q, dir, &alpha);
+                    degen_streak = 0;
+                }
+                Ratio::Pivot {
+                    pos,
+                    theta,
+                    to_upper,
+                } => {
+                    if theta <= 1e-10 {
+                        degen_streak += 1;
+                        self.total_degen += 1;
+                    } else {
+                        degen_streak = 0;
+                    }
+                    self.devex_update(q, &alpha, pos);
+                    self.apply_pivot(q, dir, &alpha, pos, theta, to_upper);
+                }
+            }
+            self.iterations += 1;
+            local += 1;
         };
-    }
-
-    // Extract the primal point.
-    let mut x = p.lower.clone();
-    for r in 0..m {
-        let b = t.basis[r];
-        if b < n {
-            x[b] = p.lower[b] + t.at(r, ncols);
-        }
-    }
-    let objective = p.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
-    LpSolution {
-        status: LpStatus::Optimal,
-        x,
-        objective,
-        iterations: t.iterations,
+        self.y = y;
+        self.alpha = alpha;
+        status
     }
 }
 
@@ -489,7 +1138,8 @@ mod tests {
 
     #[test]
     fn upper_bounds_respected() {
-        // min -x - y with x <= 2.5, y <= 1.5 via bounds only.
+        // min -x - y with x <= 2.5, y <= 1.5 via bounds only (pure bound
+        // flips, no pivots at all).
         let p = LpProblem {
             objective: vec![-1.0, -1.0],
             rows: vec![],
@@ -551,8 +1201,10 @@ mod tests {
     }
 
     #[test]
-    fn degenerate_lp_terminates() {
-        // A classically degenerate LP (many ties in the ratio test).
+    fn beales_cycling_example_terminates() {
+        // Beale's classic example cycles under naive Dantzig pricing; the
+        // degenerate-streak Bland fallback must terminate it at the true
+        // optimum.
         let p = LpProblem {
             objective: vec![-0.75, 150.0, -0.02, 6.0],
             rows: vec![
@@ -585,6 +1237,55 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_vertex_with_ratio_ties() {
+        // Three constraints meet at (1, 1) along with the optimum; every
+        // ratio test at the final vertex ties at zero. The solver must
+        // not cycle and must report the right point.
+        let p = LpProblem {
+            objective: vec![-1.0, -1.0],
+            rows: vec![
+                row(&[(0, 1.0)], ConstraintOp::Leq, 1.0),
+                row(&[(1, 1.0)], ConstraintOp::Leq, 1.0),
+                row(&[(0, 1.0), (1, 1.0)], ConstraintOp::Leq, 2.0),
+                row(&[(0, 2.0), (1, 1.0)], ConstraintOp::Leq, 3.0),
+                row(&[(0, 1.0), (1, 2.0)], ConstraintOp::Leq, 3.0),
+            ],
+            lower: vec![0.0, 0.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+        };
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!(
+            (s.objective - (-2.0)).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
+        assert!((s.x[0] - 1.0).abs() < 1e-6 && (s.x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn expired_deadline_returns_time_limit_not_partial_answer() {
+        // The deadline is checked inside the pivot loop: with an already
+        // expired deadline the solver must give up with TimeLimit and NaN
+        // objective rather than report whatever point it was at.
+        let p = LpProblem {
+            objective: vec![-3.0, -5.0],
+            rows: vec![
+                row(&[(0, 1.0)], ConstraintOp::Leq, 4.0),
+                row(&[(1, 2.0)], ConstraintOp::Leq, 12.0),
+                row(&[(0, 3.0), (1, 2.0)], ConstraintOp::Leq, 18.0),
+            ],
+            lower: vec![0.0, 0.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+        };
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        let s = solve_with_deadline(&p, Some(past));
+        assert_eq!(s.status, LpStatus::TimeLimit);
+        assert!(s.objective.is_nan(), "no partial objective on TimeLimit");
+        assert!(s.x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
     fn fixed_variable_via_equal_bounds() {
         let p = LpProblem {
             objective: vec![1.0, 1.0],
@@ -596,5 +1297,151 @@ mod tests {
         assert_eq!(s.status, LpStatus::Optimal);
         assert!((s.x[0] - 2.0).abs() < 1e-9);
         assert!((s.x[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_domain_is_infeasible() {
+        let p = LpProblem {
+            objective: vec![1.0],
+            rows: vec![],
+            lower: vec![2.0],
+            upper: vec![1.0],
+        };
+        assert_eq!(solve(&p).status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn prepared_lp_reused_across_bound_changes() {
+        // The branch-and-bound access pattern: one SparseLp, many bound
+        // vectors, warm-started from the parent basis.
+        let p = LpProblem {
+            objective: vec![-1.0, -1.0],
+            rows: vec![row(&[(0, 1.0), (1, 1.0)], ConstraintOp::Leq, 3.0)],
+            lower: vec![0.0, 0.0],
+            upper: vec![2.0, 2.0],
+        };
+        let prepared = SparseLp::from_problem(&p);
+        let mut engine = prepared.engine();
+        let (root, basis) = engine.solve(&p.lower, &p.upper, None, None);
+        assert_eq!(root.status, LpStatus::Optimal);
+        assert!((root.objective + 3.0).abs() < 1e-6);
+        let basis = basis.expect("optimal solve returns a basis");
+        // Child node: x <= 1, warm-started.
+        let (child, _) = engine.solve(&[0.0, 0.0], &[1.0, 2.0], None, Some(&basis));
+        assert_eq!(child.status, LpStatus::Optimal);
+        assert!((child.objective + 3.0).abs() < 1e-6);
+        // Child node: x and y fixed to 2 makes the row infeasible.
+        let (infeasible, none) = engine.solve(&[2.0, 2.0], &[2.0, 2.0], None, Some(&basis));
+        assert_eq!(infeasible.status, LpStatus::Infeasible);
+        assert!(none.is_none(), "failed solves return no basis");
+    }
+
+    #[test]
+    fn warm_start_agrees_with_cold_start() {
+        // Same LP solved cold and warm (from a sibling's basis) must land
+        // on the same objective.
+        let p = LpProblem {
+            objective: vec![1.0, -2.0, 3.0, -1.0],
+            rows: vec![
+                row(&[(0, 1.0), (1, 1.0), (2, 1.0)], ConstraintOp::Leq, 6.0),
+                row(&[(1, 1.0), (3, 2.0)], ConstraintOp::Geq, 2.0),
+                row(&[(0, 1.0), (2, -1.0), (3, 1.0)], ConstraintOp::Eq, 1.0),
+            ],
+            lower: vec![0.0; 4],
+            upper: vec![4.0, 4.0, 4.0, 4.0],
+        };
+        let prepared = SparseLp::from_problem(&p);
+        let mut engine = prepared.engine();
+        let (cold, basis) = engine.solve(&p.lower, &p.upper, None, None);
+        assert_eq!(cold.status, LpStatus::Optimal);
+        let basis = basis.unwrap();
+        // Tighten a bound, resolve warm, then relax back and check
+        // agreement with the cold solve.
+        let (_, tight_basis) = engine.solve(&[0.0, 0.0, 0.0, 1.0], &p.upper, None, Some(&basis));
+        let (warm, _) = engine.solve(
+            &p.lower,
+            &p.upper,
+            None,
+            tight_basis.as_ref().or(Some(&basis)),
+        );
+        assert_eq!(warm.status, LpStatus::Optimal);
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-6,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+    }
+
+    #[test]
+    fn long_pivot_chains_survive_refactorization() {
+        // A staircase LP needing well over REFACTOR_EVERY pivots so the
+        // eta file is rebuilt mid-solve: min Σ x_i subject to
+        // x_0 >= 1 and x_i − x_{i−1} >= 1.
+        let n = 160;
+        let mut rows = vec![row(&[(0, 1.0)], ConstraintOp::Geq, 1.0)];
+        for i in 1..n {
+            rows.push(row(&[(i, 1.0), (i - 1, -1.0)], ConstraintOp::Geq, 1.0));
+        }
+        let p = LpProblem {
+            objective: vec![1.0; n],
+            rows,
+            lower: vec![0.0; n],
+            upper: vec![f64::INFINITY; n],
+        };
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        let expect: f64 = (1..=n).map(|i| i as f64).sum();
+        assert!(
+            (s.objective - expect).abs() < 1e-5,
+            "objective {} vs {expect}",
+            s.objective
+        );
+        for i in 0..n {
+            assert!((s.x[i] - (i + 1) as f64).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn agrees_with_dense_oracle_on_a_mixed_model() {
+        // A structured mixed Leq/Geq/Eq model with bounded and unbounded
+        // variables; the dense tableau oracle must land on the same
+        // objective.
+        let n = 12;
+        let mut rows = Vec::new();
+        for i in 0..n {
+            let j = (i + 1) % n;
+            rows.push(row(
+                &[(i, 1.0), (j, if i % 2 == 0 { 2.0 } else { -1.0 })],
+                match i % 3 {
+                    0 => ConstraintOp::Leq,
+                    1 => ConstraintOp::Geq,
+                    _ => ConstraintOp::Eq,
+                },
+                (i % 5) as f64 - 1.0,
+            ));
+        }
+        let objective: Vec<f64> = (0..n).map(|i| ((i * 7) % 5) as f64 - 2.0).collect();
+        let lower: Vec<f64> = (0..n)
+            .map(|i| if i % 4 == 0 { -3.0 } else { 0.0 })
+            .collect();
+        let upper: Vec<f64> = (0..n).map(|i| 2.0 + (i % 3) as f64).collect();
+        let p = LpProblem {
+            objective,
+            rows,
+            lower,
+            upper,
+        };
+        let sparse = solve(&p);
+        let dense = crate::dense::solve(&p);
+        assert_eq!(sparse.status, dense.status);
+        if sparse.status == LpStatus::Optimal {
+            assert!(
+                (sparse.objective - dense.objective).abs() < 1e-6,
+                "sparse {} vs dense {}",
+                sparse.objective,
+                dense.objective
+            );
+        }
     }
 }

@@ -24,6 +24,14 @@ pub enum SolveStatus {
 pub struct SolveStats {
     /// Branch-and-bound nodes processed.
     pub nodes: usize,
+    /// Nodes whose LP relaxation was abandoned on a time or iteration
+    /// limit. These nodes are **not** explored: their subtrees are pruned
+    /// without a bound, so any "Infeasible"/"Feasible" verdict with
+    /// `limit_nodes > 0` is unproven (the outcome status already reflects
+    /// that). Consumers attributing ILP-vs-heuristic quality should treat
+    /// `limit_nodes > 0` as "the solver ran out of budget", not "the
+    /// model was explored".
+    pub limit_nodes: usize,
     /// Total simplex pivots across all LP relaxations.
     pub lp_iterations: usize,
     /// Wall-clock time of the solve.

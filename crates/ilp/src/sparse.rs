@@ -1,0 +1,202 @@
+//! Compressed sparse column (CSC) storage for the constraint matrix.
+//!
+//! The path-cover LPs are extremely sparse — each structural column
+//! touches a handful of degree/flow/cover rows — so the revised simplex
+//! in [`crate::simplex`] works on a [`CscMatrix`] instead of a dense
+//! tableau. Columns are assembled either directly from sorted sparse
+//! columns ([`CscMatrix::from_columns`]) or from row-major triplets
+//! ([`CscMatrix::from_triplets`], used when converting the row-wise
+//! [`crate::Model`]/[`crate::simplex::LpProblem`] forms).
+
+use crate::expr::SparseVec;
+
+/// An immutable sparse matrix in compressed-sparse-column form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    nrows: usize,
+    ncols: usize,
+    /// `col_ptr[j]..col_ptr[j + 1]` indexes the entries of column `j`.
+    col_ptr: Vec<usize>,
+    /// Row index of each entry, ascending within a column.
+    row_idx: Vec<usize>,
+    /// Value of each entry.
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds the matrix from one [`SparseVec`] per column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a column references a row `>= nrows`.
+    pub fn from_columns(nrows: usize, columns: &[SparseVec]) -> Self {
+        let nnz = columns.iter().map(SparseVec::nnz).sum();
+        let mut m = CscMatrix {
+            nrows,
+            ncols: columns.len(),
+            col_ptr: Vec::with_capacity(columns.len() + 1),
+            row_idx: Vec::with_capacity(nnz),
+            values: Vec::with_capacity(nnz),
+        };
+        m.col_ptr.push(0);
+        for col in columns {
+            for (row, value) in col.iter() {
+                assert!(row < nrows, "row {row} out of bounds for {nrows} rows");
+                m.row_idx.push(row);
+                m.values.push(value);
+            }
+            m.col_ptr.push(m.row_idx.len());
+        }
+        m
+    }
+
+    /// Builds the matrix from `(row, col, value)` triplets in any order;
+    /// duplicate coordinates are summed, exact zeros dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a triplet lies outside the `nrows × ncols` shape.
+    pub fn from_triplets(nrows: usize, ncols: usize, triplets: &mut [(usize, usize, f64)]) -> Self {
+        triplets.sort_unstable_by_key(|&(r, c, _)| (c, r));
+        let mut col_ptr = Vec::with_capacity(ncols + 1);
+        let mut row_idx = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        col_ptr.push(0);
+        let mut col = 0usize;
+        let mut i = 0usize;
+        while i < triplets.len() {
+            let (r, c, mut v) = triplets[i];
+            assert!(r < nrows && c < ncols, "triplet ({r}, {c}) out of bounds");
+            while col < c {
+                col_ptr.push(row_idx.len());
+                col += 1;
+            }
+            i += 1;
+            while i < triplets.len() && triplets[i].0 == r && triplets[i].1 == c {
+                v += triplets[i].2;
+                i += 1;
+            }
+            if v != 0.0 {
+                row_idx.push(r);
+                values.push(v);
+            }
+        }
+        while col < ncols {
+            col_ptr.push(row_idx.len());
+            col += 1;
+        }
+        CscMatrix {
+            nrows,
+            ncols,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `(row, value)` entries of column `j`, row-ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= ncols`.
+    pub fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let range = self.col_ptr[j]..self.col_ptr[j + 1];
+        self.row_idx[range.clone()]
+            .iter()
+            .zip(&self.values[range])
+            .map(|(&r, &v)| (r, v))
+    }
+
+    /// Number of stored entries in column `j`.
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.col_ptr[j + 1] - self.col_ptr[j]
+    }
+
+    /// Sparse dot product of column `j` with a dense vector.
+    pub fn col_dot(&self, j: usize, dense: &[f64]) -> f64 {
+        self.col(j).map(|(r, v)| v * dense[r]).sum()
+    }
+
+    /// The transposed matrix — i.e. the CSR mirror of `self`: column `i`
+    /// of the result is row `i` of `self`. The revised simplex keeps one
+    /// alongside the CSC form so row-wise sweeps (the Devex pivot-row
+    /// update) can skip columns that do not intersect a sparse row
+    /// support.
+    pub fn transpose(&self) -> CscMatrix {
+        let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(self.nnz());
+        for j in 0..self.ncols {
+            for (i, v) in self.col(j) {
+                triplets.push((j, i, v));
+            }
+        }
+        CscMatrix::from_triplets(self.ncols, self.nrows, &mut triplets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_sort_merge_and_drop_zeros() {
+        let mut t = vec![
+            (2, 1, 4.0),
+            (0, 0, 1.0),
+            (1, 1, 2.0),
+            (2, 1, -4.0), // cancels
+            (0, 3, 5.0),
+        ];
+        let m = CscMatrix::from_triplets(3, 4, &mut t);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.col(0).collect::<Vec<_>>(), vec![(0, 1.0)]);
+        assert_eq!(m.col(1).collect::<Vec<_>>(), vec![(1, 2.0)]);
+        assert!(m.col(2).next().is_none());
+        assert_eq!(m.col(3).collect::<Vec<_>>(), vec![(0, 5.0)]);
+    }
+
+    #[test]
+    fn from_columns_round_trips() {
+        let mut a = SparseVec::new();
+        a.push(0, 1.0);
+        a.push(2, -3.0);
+        let b = SparseVec::new();
+        let m = CscMatrix::from_columns(3, &[a, b]);
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 2);
+        assert_eq!(m.col(0).collect::<Vec<_>>(), vec![(0, 1.0), (2, -3.0)]);
+        assert_eq!(m.col_nnz(1), 0);
+    }
+
+    #[test]
+    fn col_dot_matches_dense() {
+        let mut t = vec![(0, 0, 2.0), (2, 0, 1.0)];
+        let m = CscMatrix::from_triplets(3, 1, &mut t);
+        assert_eq!(m.col_dot(0, &[1.0, 9.0, 4.0]), 6.0);
+    }
+
+    #[test]
+    fn transpose_mirrors_rows_as_columns() {
+        let mut t = vec![(0, 0, 1.0), (2, 0, -3.0), (0, 1, 5.0)];
+        let m = CscMatrix::from_triplets(3, 2, &mut t);
+        let r = m.transpose();
+        assert_eq!((r.nrows(), r.ncols()), (2, 3));
+        assert_eq!(r.col(0).collect::<Vec<_>>(), vec![(0, 1.0), (1, 5.0)]);
+        assert!(r.col(1).next().is_none());
+        assert_eq!(r.col(2).collect::<Vec<_>>(), vec![(0, -3.0)]);
+    }
+}

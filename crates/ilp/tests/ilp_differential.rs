@@ -1,0 +1,208 @@
+//! Differential test harness: the sparse revised simplex
+//! ([`fpva_ilp::simplex`]) against the dense two-phase tableau oracle
+//! ([`fpva_ilp::dense`]).
+//!
+//! Random sparse LPs are generated **by status class** — the witness
+//! construction guarantees the class, so a disagreement is always a
+//! solver bug, never an ambiguous instance:
+//!
+//! * **feasible** — a witness point `x0` inside the (finite) variable
+//!   box; every row's rhs is set from `a·x0` with non-negative slack, so
+//!   `x0` is feasible and finiteness of all bounds makes the LP bounded;
+//! * **degenerate** — the feasible construction with every slack forced
+//!   to zero *and* every row duplicated, so the optimum sits on a
+//!   heavily tied vertex (ratio-test ties, redundant rows);
+//! * **infeasible** — the feasible construction plus the contradictory
+//!   row `x_j ≥ ub_j + 1` (which also crosses the two solvers' different
+//!   bound handling: rows in the oracle, native bounds in the revised
+//!   simplex);
+//! * **unbounded** — the feasible construction plus a cost −1 ray
+//!   variable `z ∈ [0, ∞)` that appears (with +1) only in `≥` rows, so
+//!   `(x0, z → ∞)` stays feasible while the objective dives.
+//!
+//! Both solvers must agree on the status, and on the objective within
+//! `1e-6` when optimal; the revised simplex's primal point is
+//! additionally checked feasible against rows and bounds.
+
+use fpva_ilp::dense;
+use fpva_ilp::simplex::{self, LpProblem, LpRow, LpStatus};
+use fpva_ilp::ConstraintOp;
+use proptest::prelude::*;
+
+/// Objective agreement tolerance between the two solvers.
+const OBJ_TOL: f64 = 1e-6;
+
+/// Per-variable raw draw: (witness value, lower slack below the witness,
+/// upper headroom above it, objective coefficient ×2).
+type VarRaw = (i32, i32, i32, i32);
+/// Per-row raw draw: sparse support as (unreduced index, coefficient),
+/// an operator selector, and a non-negative slack.
+type RowRaw = (Vec<(usize, i32)>, u8, i32);
+/// One full instance draw: variable count, per-variable data (oversized,
+/// truncated to the count), row data, and a spare index used by the
+/// infeasible class.
+type InstanceRaw = (usize, Vec<VarRaw>, Vec<RowRaw>, usize);
+
+fn arb_instance() -> impl Strategy<Value = InstanceRaw> {
+    (
+        2usize..9,
+        collection::vec((0i32..7, 0i32..4, 0i32..6, -5i32..6), 9..10),
+        collection::vec(
+            (
+                collection::vec((0usize..64, -4i32..5), 1..4),
+                0u8..3,
+                0i32..5,
+            ),
+            1..7,
+        ),
+        0usize..64,
+    )
+}
+
+/// Builds a guaranteed-feasible, guaranteed-bounded LP around the witness
+/// point. With `tight` every row holds with equality at the witness; with
+/// `duplicate` every row is emitted twice (redundancy + ratio-test ties).
+fn build_feasible(raw: &InstanceRaw, tight: bool, duplicate: bool) -> LpProblem {
+    let (n, ref vars, ref rows, _) = *raw;
+    let x0: Vec<f64> = vars[..n].iter().map(|v| f64::from(v.0)).collect();
+    let lower: Vec<f64> = vars[..n]
+        .iter()
+        .zip(&x0)
+        .map(|(v, x)| x - f64::from(v.1))
+        .collect();
+    let upper: Vec<f64> = vars[..n]
+        .iter()
+        .zip(&x0)
+        .map(|(v, x)| x + f64::from(v.2))
+        .collect();
+    let objective: Vec<f64> = vars[..n].iter().map(|v| f64::from(v.3) * 0.5).collect();
+    let mut out_rows = Vec::new();
+    for (support, op_sel, slack) in rows {
+        let coeffs: Vec<(usize, f64)> = support
+            .iter()
+            .map(|&(j, a)| (j % n, f64::from(a)))
+            .collect();
+        let ax0: f64 = coeffs.iter().map(|&(j, a)| a * x0[j]).sum();
+        let slack = if tight { 0.0 } else { f64::from(*slack) };
+        let (op, rhs) = match op_sel % 3 {
+            0 => (ConstraintOp::Leq, ax0 + slack),
+            1 => (ConstraintOp::Geq, ax0 - slack),
+            _ => (ConstraintOp::Eq, ax0),
+        };
+        let row = LpRow { coeffs, op, rhs };
+        if duplicate {
+            out_rows.push(row.clone());
+        }
+        out_rows.push(row);
+    }
+    LpProblem {
+        objective,
+        rows: out_rows,
+        lower,
+        upper,
+    }
+}
+
+/// The feasible problem plus the contradictory row `x_j ≥ ub_j + 1`.
+fn build_infeasible(raw: &InstanceRaw) -> LpProblem {
+    let mut p = build_feasible(raw, false, false);
+    let j = raw.3 % raw.0;
+    p.rows.push(LpRow {
+        coeffs: vec![(j, 1.0)],
+        op: ConstraintOp::Geq,
+        rhs: p.upper[j] + 1.0,
+    });
+    p
+}
+
+/// The feasible problem plus a cost −1 ray variable `z ∈ [0, ∞)` with a
+/// +1 entry in every `≥` row (and none elsewhere): `(x0, z → ∞)` stays
+/// feasible while the objective is unbounded below.
+fn build_unbounded(raw: &InstanceRaw) -> LpProblem {
+    let mut p = build_feasible(raw, false, false);
+    let z = p.objective.len();
+    for row in &mut p.rows {
+        if row.op == ConstraintOp::Geq {
+            row.coeffs.push((z, 1.0));
+        }
+    }
+    p.objective.push(-1.0);
+    p.lower.push(0.0);
+    p.upper.push(f64::INFINITY);
+    p
+}
+
+/// Worst violation of `x` against the rows and bounds of `p`.
+fn primal_violation(p: &LpProblem, x: &[f64]) -> f64 {
+    let mut worst = 0.0f64;
+    for (l, (u, v)) in p.lower.iter().zip(p.upper.iter().zip(x)) {
+        worst = worst.max(l - v).max(v - u);
+    }
+    for row in &p.rows {
+        let ax: f64 = row.coeffs.iter().map(|&(j, a)| a * x[j]).sum();
+        let gap = match row.op {
+            ConstraintOp::Leq => ax - row.rhs,
+            ConstraintOp::Geq => row.rhs - ax,
+            ConstraintOp::Eq => (ax - row.rhs).abs(),
+        };
+        worst = worst.max(gap);
+    }
+    worst
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn feasible_lps_agree(raw in arb_instance()) {
+        let p = build_feasible(&raw, false, false);
+        let d = dense::solve(&p);
+        let s = simplex::solve(&p);
+        prop_assert_eq!(d.status, LpStatus::Optimal, "oracle on a feasible bounded LP: {:?}", d.status);
+        prop_assert_eq!(s.status, LpStatus::Optimal, "revised simplex on a feasible bounded LP: {:?}", s.status);
+        prop_assert!(
+            (d.objective - s.objective).abs() <= OBJ_TOL,
+            "objectives diverge: dense {} vs sparse {} on {:?}",
+            d.objective, s.objective, p
+        );
+        let viol = primal_violation(&p, &s.x);
+        prop_assert!(viol <= OBJ_TOL, "sparse point violates the LP by {viol}");
+    }
+
+    #[test]
+    fn degenerate_lps_agree(raw in arb_instance()) {
+        // Every row tight at the witness and duplicated: the optimum sits
+        // on a redundantly-described vertex, the classic breeding ground
+        // for ratio-test ties and cycling.
+        let p = build_feasible(&raw, true, true);
+        let d = dense::solve(&p);
+        let s = simplex::solve(&p);
+        prop_assert_eq!(d.status, LpStatus::Optimal, "oracle on a degenerate LP: {:?}", d.status);
+        prop_assert_eq!(s.status, LpStatus::Optimal, "revised simplex on a degenerate LP: {:?}", s.status);
+        prop_assert!(
+            (d.objective - s.objective).abs() <= OBJ_TOL,
+            "objectives diverge: dense {} vs sparse {} on {:?}",
+            d.objective, s.objective, p
+        );
+        let viol = primal_violation(&p, &s.x);
+        prop_assert!(viol <= OBJ_TOL, "sparse point violates the LP by {viol}");
+    }
+
+    #[test]
+    fn infeasible_lps_agree(raw in arb_instance()) {
+        let p = build_infeasible(&raw);
+        let d = dense::solve(&p);
+        let s = simplex::solve(&p);
+        prop_assert_eq!(d.status, LpStatus::Infeasible, "oracle: {:?}", d.status);
+        prop_assert_eq!(s.status, LpStatus::Infeasible, "revised simplex: {:?}", s.status);
+    }
+
+    #[test]
+    fn unbounded_lps_agree(raw in arb_instance()) {
+        let p = build_unbounded(&raw);
+        let d = dense::solve(&p);
+        let s = simplex::solve(&p);
+        prop_assert_eq!(d.status, LpStatus::Unbounded, "oracle: {:?}", d.status);
+        prop_assert_eq!(s.status, LpStatus::Unbounded, "revised simplex: {:?}", s.status);
+    }
+}

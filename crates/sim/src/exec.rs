@@ -113,6 +113,12 @@ mod tests {
     }
 
     #[test]
+    fn chunk_size_larger_than_input_runs_inline_as_one_chunk() {
+        let chunks = run_chunked(8, 5, 100, |r| r.collect::<Vec<_>>());
+        assert_eq!(chunks, vec![vec![0, 1, 2, 3, 4]]);
+    }
+
+    #[test]
     fn more_workers_than_chunks_is_fine() {
         let chunks = run_chunked(64, 5, 2, |r| r.start);
         assert_eq!(chunks, vec![0, 2, 4]);
