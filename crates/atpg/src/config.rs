@@ -35,8 +35,11 @@ pub struct AtpgConfig {
     pub path_engine: PathEngine,
     /// Cut-set engine.
     pub cut_engine: CutEngine,
-    /// Subblock edge length for the hierarchical engine (paper: 5).
-    pub block_size: usize,
+    /// Subblock edge length for the hierarchical engine. `None` derives
+    /// the band height from the array dimensions
+    /// ([`crate::hierarchy::HierarchyConfig::derived_block_size`]); the
+    /// paper evaluates with a fixed 5.
+    pub block_size: Option<usize>,
     /// Whether to generate the control-leakage vectors.
     pub leakage: bool,
     /// Seed for the randomized stages.
@@ -50,7 +53,7 @@ impl Default for AtpgConfig {
         AtpgConfig {
             path_engine: PathEngine::default(),
             cut_engine: CutEngine::default(),
-            block_size: 5,
+            block_size: None,
             leakage: true,
             seed: 0xDA7E_2017,
             tries: 64,

@@ -166,6 +166,55 @@ fn build_model(fpva: &Fpva, k: usize) -> (Model, Vec<PathVars>) {
         all_vars.push(PathVars { v, pe, c });
     }
 
+    // Channel contiguity (the validator's no-bypass rule, implied by the
+    // paper's Fig. 5(a) masking argument but absent from constraints
+    // (1)–(8)): pressure spreads freely inside an always-open channel
+    // component, so a path that leaves such a component and re-enters it
+    // closes an implicit loop. A simple path visiting a component `C` in
+    // `k` contiguous runs crosses C's boundary exactly `2k − t` times,
+    // where `t` counts the path's endpoints (used port openings) inside
+    // C — so contiguity (`k ≤ 1`) is exactly, for every multi-cell open
+    // component C and every path m:
+    //     Σ_{e ∈ δ(C)} v[m][e] + Σ_{ports p, cell(p) ∈ C} pe[m][p] ≤ 2.
+    // Omitting the endpoint term would let a path that starts *and* ends
+    // inside C split its visit in two on just 2 crossings.
+    // (PR 4's engine never solved the channelled probes fast enough to
+    // surface any of this; with the LU basis the k=2 probe on
+    // `table1_5x5` otherwise returns a bypass "cover" the extractor must
+    // reject.)
+    let components = crate::connectivity::open_components(fpva);
+    let mut comp_sizes: BTreeMap<usize, usize> = BTreeMap::new();
+    for &cell in &cells {
+        *comp_sizes
+            .entry(components[fpva.cell_index(cell)])
+            .or_insert(0) += 1;
+    }
+    for (&comp, &size) in &comp_sizes {
+        if size < 2 {
+            continue;
+        }
+        let boundary: Vec<EdgeId> = passable
+            .iter()
+            .copied()
+            .filter(|&e| {
+                let (a, b) = e.endpoints();
+                (components[fpva.cell_index(a)] == comp) != (components[fpva.cell_index(b)] == comp)
+            })
+            .collect();
+        for vars in &all_vars {
+            let mut crossings = LinExpr::new();
+            for &e in &boundary {
+                crossings.add_term(vars.v[&e], 1.0);
+            }
+            for (pid, port) in fpva.ports() {
+                if components[fpva.cell_index(port.cell)] == comp {
+                    crossings.add_term(vars.pe[&pid], 1.0);
+                }
+            }
+            model.add_leq(crossings, 2.0);
+        }
+    }
+
     // Constraint (2): every real valve covered by some path.
     for (_, e) in fpva.valves() {
         let mut cover = LinExpr::new();
@@ -275,6 +324,12 @@ pub struct IlpCoverStats {
     pub limit_nodes: usize,
     /// Simplex pivots across all probes.
     pub lp_iterations: usize,
+    /// Full sparse-LU basis refactorizations across all probes.
+    pub refactorizations: usize,
+    /// Forrest–Tomlin basis updates applied in place across all probes.
+    pub ft_updates: usize,
+    /// Forrest–Tomlin updates rejected by the stability test.
+    pub rejected_updates: usize,
 }
 
 /// Probes increasing path counts `k = lb, lb+1, …` and returns the first
@@ -335,6 +390,9 @@ pub fn min_path_cover_ilp_with_stats(
         stats.nodes += outcome.stats.nodes;
         stats.limit_nodes += outcome.stats.limit_nodes;
         stats.lp_iterations += outcome.stats.lp_iterations;
+        stats.refactorizations += outcome.stats.refactorizations;
+        stats.ft_updates += outcome.stats.ft_updates;
+        stats.rejected_updates += outcome.stats.rejected_updates;
         match outcome.status {
             SolveStatus::Optimal | SolveStatus::Feasible => {
                 let sol = outcome.best.expect("feasible outcome has incumbent");

@@ -1,9 +1,14 @@
-//! Criterion bench for the in-workspace MILP solver on the paper's exact
-//! path-cover formulation (constraints (1)–(8)) at subblock scale.
+//! Criterion bench for the in-workspace MILP solver: the paper's exact
+//! path-cover formulation (constraints (1)–(8)) at subblock scale, plus
+//! an LU-focused warm-start chain that times the basis-maintenance path
+//! (Forrest–Tomlin updates with policy-driven refactorization) in
+//! isolation from branch-and-bound.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fpva_atpg::ilp_model::{min_path_cover_ilp, PathIlpConfig};
 use fpva_grid::layouts;
+use fpva_ilp::fixtures;
+use fpva_ilp::simplex::SparseLp;
 use std::hint::black_box;
 
 fn bench_exact_cover(c: &mut Criterion) {
@@ -22,5 +27,34 @@ fn bench_exact_cover(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_exact_cover);
+/// The branch-and-bound access pattern without branch-and-bound: one
+/// persistent engine re-solving the shared `fpva_ilp::fixtures`
+/// multi-knapsack chain (the exact workload `ilp_differential` verifies
+/// against the dense oracle), warm-started from the previous basis every
+/// step. Dominated by FTRAN/BTRAN through the LU factors and the
+/// Forrest–Tomlin update per pivot — the tentpole's hot path.
+fn bench_lu_warm_start_chain(c: &mut Criterion) {
+    let p = fixtures::multi_knapsack_lp();
+    let prepared = SparseLp::from_problem(&p);
+
+    let mut group = c.benchmark_group("ilp_lu_basis");
+    group.bench_function("warm_start_chain/64_resolves", |b| {
+        b.iter(|| {
+            let mut engine = prepared.engine();
+            let mut basis = None;
+            for step in 0..64usize {
+                let (lower, upper) = fixtures::chain_bounds(step);
+                let (sol, nb) = engine.solve(&lower, &upper, None, basis.as_ref());
+                black_box(sol.objective);
+                if let Some(nb) = nb {
+                    basis = Some(nb);
+                }
+            }
+            engine.factor_stats().ft_updates
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_cover, bench_lu_warm_start_chain);
 criterion_main!(benches);

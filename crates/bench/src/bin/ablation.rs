@@ -74,11 +74,23 @@ fn main() {
 
     println!("\n== Ablation 1b: exact-ILP subblock scaling (default limits) ==");
     println!(
-        "{:<6} | {:>5} | {:>8} | {:>6} | {:>12} | {:>11}",
-        "block", "paths", "seconds", "probes", "limit-probes", "limit-nodes"
+        "{:<10} | {:>5} | {:>8} | {:>6} | {:>12} | {:>11} | {:>8} | {:>9} | {:>8}",
+        "block",
+        "paths",
+        "seconds",
+        "probes",
+        "limit-probes",
+        "limit-nodes",
+        "refacts",
+        "ft-updts",
+        "rejected"
     );
-    for n in 2..=5usize {
-        let f = layouts::full_array(n, n);
+    let channelled = layouts::table1_5x5();
+    let blocks: Vec<(String, _)> = (2..=5usize)
+        .map(|n| (format!("{n}x{n}"), layouts::full_array(n, n)))
+        .chain(std::iter::once(("table1_5x5".to_string(), channelled)))
+        .collect();
+    for (name, f) in blocks {
         let t0 = Instant::now();
         let (res, stats) = min_path_cover_ilp_with_stats(&f, &PathIlpConfig::default());
         let paths = match &res {
@@ -86,13 +98,16 @@ fn main() {
             Err(_) => "none".into(),
         };
         println!(
-            "{:<6} | {:>5} | {:>7.2}s | {:>6} | {:>12} | {:>11}",
-            format!("{n}x{n}"),
+            "{:<10} | {:>5} | {:>7.2}s | {:>6} | {:>12} | {:>11} | {:>8} | {:>9} | {:>8}",
+            name,
             paths,
             t0.elapsed().as_secs_f64(),
             stats.probes,
             stats.limit_probes,
-            stats.limit_nodes
+            stats.limit_nodes,
+            stats.refactorizations,
+            stats.ft_updates,
+            stats.rejected_updates
         );
     }
 

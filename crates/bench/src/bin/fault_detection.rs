@@ -8,7 +8,7 @@
 //! `--threads N` (default: one worker per CPU; results are identical for
 //! every thread count).
 
-use fpva_bench::{percent_or_na, plan_table1, CliArgs};
+use fpva_bench::{percent_or_na, plan_table1_with, CliArgs};
 use fpva_sim::campaign::{self, CampaignConfig};
 use fpva_sim::exec;
 
@@ -23,7 +23,7 @@ fn main() {
         "{:<8} {:>6} {:>4} | {:>10} {:>10} {:>10} {:>10} {:>10}",
         "array", "n_v", "N", "1 fault", "2 faults", "3 faults", "4 faults", "5 faults"
     );
-    for planned in plan_table1() {
+    for planned in plan_table1_with(args.threads) {
         let e = &planned.entry;
         let suite = planned.plan.to_suite(&e.fpva);
         let config = CampaignConfig {

@@ -2,17 +2,27 @@
 //! runtimes for the five benchmark arrays, next to the paper's reported
 //! numbers and the naive 2·n_v baseline.
 //!
-//! Run with `cargo run --release -p fpva-bench --bin table1`.
+//! Run with `cargo run --release -p fpva-bench --bin table1`. Pass
+//! `--threads N` to generate the five per-array plans on N workers
+//! (default: one per CPU; every plan is deterministic per layout, so the
+//! table is identical for every thread count). `--trials` is not used by
+//! this binary.
 
-use fpva_bench::plan_table1;
+use fpva_bench::{plan_table1_with, CliArgs};
+use fpva_sim::exec;
 
 fn main() {
-    println!("Table I — test vector generation (paper numbers in parentheses)");
+    let args = CliArgs::parse();
+    // run_chunked caps workers at the chunk count (one chunk per array).
+    println!(
+        "Table I — test vector generation (paper numbers in parentheses; {} worker(s))",
+        exec::resolve_threads(args.threads).min(fpva_grid::layouts::table1().len())
+    );
     println!(
         "{:<8} {:>6} | {:>9} {:>9} {:>9} {:>11} | {:>8} {:>8} {:>8} {:>8} | {:>9}",
         "array", "n_v", "n_p", "n_c", "n_l", "N", "t_p(s)", "t_c(s)", "t_l(s)", "T(s)", "baseline"
     );
-    for planned in plan_table1() {
+    for planned in plan_table1_with(args.threads) {
         let e = &planned.entry;
         let p = &planned.plan;
         let s = p.stats();

@@ -13,22 +13,34 @@ pub struct PlannedEntry {
     pub plan: TestPlan,
 }
 
-/// Generates plans for every Table I array with the default configuration.
+/// Generates plans for every Table I array with the default configuration,
+/// serially (see [`plan_table1_with`] for the parallel variant).
 ///
 /// # Panics
 ///
 /// Panics if generation fails on a benchmark layout (they are validated by
 /// the test suite, so this indicates a build problem).
 pub fn plan_table1() -> Vec<PlannedEntry> {
-    fpva_grid::layouts::table1()
-        .into_iter()
-        .map(|entry| {
-            let plan = Atpg::new()
-                .generate(&entry.fpva)
-                .unwrap_or_else(|e| panic!("plan generation failed for {}: {e}", entry.name));
-            PlannedEntry { entry, plan }
-        })
-        .collect()
+    plan_table1_with(1)
+}
+
+/// Like [`plan_table1`], but generates the per-array plans on up to
+/// `threads` workers (`0` = one per CPU). Each plan is a deterministic
+/// function of its layout alone, so the result is identical for every
+/// thread count — the rows come back in Table I order regardless.
+///
+/// # Panics
+///
+/// Panics if generation fails on a benchmark layout.
+pub fn plan_table1_with(threads: usize) -> Vec<PlannedEntry> {
+    let entries = fpva_grid::layouts::table1();
+    fpva_sim::exec::run_chunked(threads, entries.len(), 1, |range| {
+        let entry = entries[range.start].clone();
+        let plan = Atpg::new()
+            .generate(&entry.fpva)
+            .unwrap_or_else(|e| panic!("plan generation failed for {}: {e}", entry.name));
+        PlannedEntry { entry, plan }
+    })
 }
 
 /// Renders an array with its flow paths overlaid, one digit/letter per

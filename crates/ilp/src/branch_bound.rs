@@ -162,6 +162,10 @@ impl MilpSolver {
                     // Bounds only tighten below the root, so any unbounded
                     // node implies an unbounded relaxation.
                     stats.elapsed = start.elapsed();
+                    let factor = engine.factor_stats();
+                    stats.refactorizations = factor.refactorizations;
+                    stats.ft_updates = factor.ft_updates;
+                    stats.rejected_updates = factor.rejected_updates;
                     stats.best_bound = f64::NEG_INFINITY * sign;
                     return Ok(MilpOutcome {
                         status: SolveStatus::Unbounded,
@@ -247,6 +251,10 @@ impl MilpSolver {
         }
 
         stats.elapsed = start.elapsed();
+        let factor = engine.factor_stats();
+        stats.refactorizations = factor.refactorizations;
+        stats.ft_updates = factor.ft_updates;
+        stats.rejected_updates = factor.rejected_updates;
         let proved_optimal = !hit_limit && stats.limit_nodes == 0;
         let status = match (&incumbent, proved_optimal) {
             (Some(_), true) => SolveStatus::Optimal,

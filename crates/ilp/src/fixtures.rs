@@ -1,0 +1,56 @@
+//! Shared solver workloads used by both the differential test harness
+//! and the Criterion benches.
+//!
+//! The LU warm-start-chain bench in `fpva-bench` is only meaningful
+//! because it times **exactly** the workload the `ilp_differential`
+//! chain test verifies against the dense oracle — so the construction
+//! lives here once, and retuning it keeps the two in lock-step.
+
+use crate::model::ConstraintOp;
+use crate::simplex::{LpProblem, LpRow};
+
+/// Variable count of [`multi_knapsack_lp`].
+pub const CHAIN_VARS: usize = 14;
+
+/// A multi-knapsack LP whose binding capacity rows force real pivots on
+/// every re-solve, while `x = lower` stays feasible under the whole
+/// [`chain_bounds`] schedule (capacities dwarf the largest scheduled
+/// lower bounds) — so every warm-started step is `Optimal`.
+pub fn multi_knapsack_lp() -> LpProblem {
+    let n = CHAIN_VARS;
+    let mut rows = Vec::new();
+    for k in 0..4usize {
+        let coeffs: Vec<(usize, f64)> = (0..n)
+            .map(|i| (i, 1.0 + ((i * (k + 2) + k) % 4) as f64))
+            .collect();
+        let capacity = 0.35 * 6.0 * coeffs.iter().map(|&(_, w)| w).sum::<f64>();
+        rows.push(LpRow {
+            coeffs,
+            op: ConstraintOp::Leq,
+            rhs: capacity,
+        });
+    }
+    LpProblem {
+        objective: (0..n).map(|i| -(1.0 + ((i * 5) % 9) as f64)).collect(),
+        rows,
+        lower: vec![0.0; n],
+        upper: vec![6.0; n],
+    }
+}
+
+/// The bound schedule of the warm-start chain: a tightening window that
+/// cycles over the variables — lower bounds rise on one index, upper
+/// bounds drop on another, then both relax.
+pub fn chain_bounds(step: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = CHAIN_VARS;
+    let mut lower = vec![0.0; n];
+    let mut upper = vec![6.0; n];
+    let a = step % n;
+    let b = (step * 5 + 2) % n;
+    lower[a] = (step % 3) as f64;
+    upper[b] = 2.0 + ((step % 5) as f64);
+    if lower[b] > upper[b] {
+        lower[b] = upper[b];
+    }
+    (lower, upper)
+}

@@ -27,13 +27,35 @@
 //!   rest at a finite bound and may "bound-flip" without a basis change,
 //!   so finite upper bounds add no rows (the dense oracle adds one row
 //!   per bounded variable).
-//! * **Basis.** `B⁻¹` is a product-form eta file. FTRAN/BTRAN apply the
-//!   eta vectors forwards/backwards; after a few appended pivots the file
-//!   is rebuilt from the basis columns (partial pivoting, sparsest column
-//!   first) and the basic values are recomputed, which bounds fill-in and
-//!   numerical drift — and, on these highly degenerate models, keeps the
-//!   ratio test anchored to exact basic values (the rebuild cadence is a
-//!   measured trade-off, not just a hygiene knob).
+//! * **Basis.** `B` is held as a sparse LU factorization ([`lu`]):
+//!   `B = F·H·V` with `F` the lower-triangular factor of the last
+//!   refactorization (a column-eta file), `V` the permuted
+//!   upper-triangular factor stored explicitly in dual row/column form,
+//!   and `H` a file of Forrest–Tomlin row etas. Refactorization runs
+//!   right-looking Gaussian elimination with **Markowitz ordering**
+//!   (minimise the `(r−1)(c−1)` fill proxy) under a **threshold
+//!   partial-pivoting** stability test; each simplex pivot then updates
+//!   the factors in place by one **Forrest–Tomlin** column replacement
+//!   instead of appending product-form etas.
+//! * **Refactorization policy.** Rebuilds are no longer a fixed cadence:
+//!   the LU layer requests one when update-file fill outgrows the base
+//!   factorization or an update fails its stability test (a tiny
+//!   re-triangularised diagonal), and the simplex layer adds two of its
+//!   own triggers — a short freshness cadence (crisper alphas measurably
+//!   improve degenerate ratio-test decisions, a branching-quality knob
+//!   inherited from the eta-file era) and an escalation when the
+//!   periodic basic-value refresh measures drift. Numerical freshness
+//!   (one FTRAN per `VALUES_REFRESH` pivots of [`simplex`]) is thereby
+//!   decoupled from rebuild cost.
+//! * **Stability safeguards.** An `Optimal`/`Infeasible` verdict is a
+//!   *proof* to branch-and-bound, so the engine certifies terminations:
+//!   the pivot loop only breaks off freshly recomputed basic values, a
+//!   phase-1 infeasibility verdict is re-proven on a fresh
+//!   factorization, and every reported optimum must pass a
+//!   factor-independent primal-residual audit (`|A·x + s − b|` straight
+//!   off the CSC matrix). Tiny blocking pivots on a factor that has
+//!   absorbed updates trigger refactorize-and-retry rather than an
+//!   unstable Forrest–Tomlin update.
 //! * **Pricing.** Projected steepest-edge (Devex) reference weights:
 //!   the entering column maximises `d²/w`, with weights updated from the
 //!   pivot row. A degenerate-pivot streak switches to **Bland's rule**
@@ -87,6 +109,9 @@ mod branch_bound;
 pub mod dense;
 mod error;
 mod expr;
+#[doc(hidden)]
+pub mod fixtures;
+pub mod lu;
 mod model;
 pub mod simplex;
 mod solution;

@@ -1,0 +1,942 @@
+//! Sparse LU factorization of the simplex basis with Forrest–Tomlin
+//! updates.
+//!
+//! The basis matrix `B` of the revised simplex ([`crate::simplex`]) is
+//! maintained as the product `B = F · H · V`:
+//!
+//! * **`F`** — the lower-triangular factor of the last refactorization,
+//!   stored as a file of column etas (the Gaussian elimination
+//!   multipliers). `F` is frozen between refactorizations.
+//! * **`V`** — the permuted upper-triangular factor, stored **explicitly**
+//!   in dual (column-wise + row-wise) form so Forrest–Tomlin can rewrite
+//!   its columns and rows in place.
+//! * **`H`** — a growing file of elementary *row* transformations, one
+//!   appended per Forrest–Tomlin update, that re-triangularise `V` after
+//!   a basis column is replaced.
+//!
+//! Refactorization ([`LuFactors::factorize`]) runs right-looking Gaussian
+//! elimination with **Markowitz pivot ordering**: each pivot minimises the
+//! fill-in proxy `(row_count − 1) · (col_count − 1)` over the active
+//! submatrix, restricted to entries that pass the **threshold
+//! partial-pivoting** test `|a| ≥ τ · max|column|` (τ =
+//! [`PIVOT_THRESHOLD`]) so sparsity can never buy numerical garbage. The
+//! search walks candidate columns in increasing active count and settles
+//! after a few eligible columns (the Suhl–Suhl compromise), which keeps
+//! ordering cost far below the elimination itself.
+//!
+//! A pivot ([`LuFactors::replace_column`]) applies the classic
+//! Forrest–Tomlin rewrite: the leaving position's column of `V` is
+//! replaced by the entering column's partial FTRAN (its *spike*), the
+//! pivot's row/column pair moves to the back of the elimination order,
+//! and the now off-diagonal entries of the freed pivot row are eliminated
+//! with one appended `H` eta. The update **fails** — forcing the caller
+//! to refactorize from the updated basis — when the resulting diagonal is
+//! absolutely tiny ([`ABS_PIVOT_TOL`]) or small relative to the spike it
+//! came from ([`REL_PIVOT_TOL`]): the Forrest–Tomlin stability test.
+//! [`LuFactors::should_refactor`] additionally recommends a rebuild once
+//! update-file growth makes FTRAN/BTRAN more expensive than a fresh
+//! factorization would be — a fill-in policy, not a fixed cadence.
+//!
+//! Everything is deterministic: pivot ties break on larger magnitude and
+//! then smaller indices, and all sweeps run in fixed order.
+
+/// Threshold partial pivoting: an entry may be chosen as pivot only when
+/// its magnitude is at least this fraction of the largest magnitude in
+/// its active column. Higher is more stable, lower is sparser; 0.1 is the
+/// textbook LP default.
+pub const PIVOT_THRESHOLD: f64 = 0.1;
+/// Pivots below this magnitude declare the basis numerically singular.
+pub const ABS_PIVOT_TOL: f64 = 1e-10;
+/// A Forrest–Tomlin update is rejected (→ refactorize) when the new
+/// diagonal is smaller than this fraction of the spike's largest entry.
+pub const REL_PIVOT_TOL: f64 = 1e-8;
+/// Entries below this magnitude are dropped from factor files.
+const DROP_TOL: f64 = 1e-12;
+/// [`LuFactors::should_refactor`] triggers once the live fill (`V` plus
+/// the `H` update file) exceeds this multiple of the fill right after the
+/// last refactorization, plus a one-entry-per-row allowance.
+const FILL_GROWTH_LIMIT: f64 = 3.0;
+/// Hard cap on Forrest–Tomlin updates between refactorizations — a
+/// drift backstop far above what the fill policy usually allows, so
+/// long warm-start chains can run hundreds of updates on one factor.
+const MAX_UPDATES: usize = 1024;
+/// The Markowitz search settles after examining this many candidate
+/// columns that hold at least one threshold-eligible entry.
+const MARKOWITZ_SEARCH_COLS: usize = 4;
+
+/// One column eta of the `F` factor: the multipliers that eliminated the
+/// sub-pivot entries of one elimination step.
+#[derive(Debug, Clone)]
+struct ColEta {
+    /// Pivot row of the elimination step.
+    pivot_row: usize,
+    /// `(row, multiplier)` for rows pivoted later than this step.
+    entries: Vec<(usize, f64)>,
+}
+
+impl ColEta {
+    /// `v ← L_t⁻¹ v`.
+    #[inline]
+    fn ftran(&self, v: &mut [f64]) {
+        let t = v[self.pivot_row];
+        if t != 0.0 {
+            for &(i, m) in &self.entries {
+                v[i] -= m * t;
+            }
+        }
+    }
+
+    /// `v ← L_t⁻ᵀ v`.
+    #[inline]
+    fn btran(&self, v: &mut [f64]) {
+        let mut acc = 0.0;
+        for &(i, m) in &self.entries {
+            acc += m * v[i];
+        }
+        v[self.pivot_row] -= acc;
+    }
+}
+
+/// One row eta of the `H` update file: the row operation that eliminated
+/// the freed pivot row after a Forrest–Tomlin column replacement.
+#[derive(Debug, Clone)]
+struct RowEta {
+    /// The row that was re-triangularised.
+    row: usize,
+    /// `(other_row, multiplier)` pairs subtracted from `row`.
+    entries: Vec<(usize, f64)>,
+}
+
+impl RowEta {
+    /// `v ← E v` (forward step): `v[row] -= Σ mult · v[other]`.
+    #[inline]
+    fn ftran(&self, v: &mut [f64]) {
+        let mut acc = 0.0;
+        for &(i, m) in &self.entries {
+            acc += m * v[i];
+        }
+        v[self.row] -= acc;
+    }
+
+    /// `v ← Eᵀ v`: `v[other] -= mult · v[row]`.
+    #[inline]
+    fn btran(&self, v: &mut [f64]) {
+        let t = v[self.row];
+        if t != 0.0 {
+            for &(i, m) in &self.entries {
+                v[i] -= m * t;
+            }
+        }
+    }
+}
+
+/// Cumulative factorization effort counters, exposed through the simplex
+/// engine so branch-and-bound (and the `ablation`/bench consumers) can
+/// report how the basis was maintained.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FactorStats {
+    /// Full Markowitz refactorizations performed.
+    pub refactorizations: usize,
+    /// Forrest–Tomlin updates applied in place.
+    pub ft_updates: usize,
+    /// Updates rejected by the stability test (each forces a
+    /// refactorization).
+    pub rejected_updates: usize,
+    /// Largest `V`-plus-`H` fill (stored entries) seen so far.
+    pub peak_fill: usize,
+}
+
+impl FactorStats {
+    /// Merges `other` into `self` (aggregation across solves/probes).
+    pub fn absorb(&mut self, other: &FactorStats) {
+        self.refactorizations += other.refactorizations;
+        self.ft_updates += other.ft_updates;
+        self.rejected_updates += other.rejected_updates;
+        self.peak_fill = self.peak_fill.max(other.peak_fill);
+    }
+}
+
+/// Why a factorization or update could not be completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LuError {
+    /// The basis matrix is numerically singular (no acceptable pivot).
+    Singular,
+    /// The Forrest–Tomlin stability test failed; the factorization is
+    /// left unusable and the caller must refactorize.
+    UnstableUpdate,
+}
+
+/// A sparse LU factorization of one basis matrix, updatable in place by
+/// Forrest–Tomlin column replacements.
+///
+/// The owner supplies basis columns through a callback at
+/// [`LuFactors::factorize`] time and identifies columns by their **basis
+/// position** (`0..m`) thereafter. [`LuFactors::ftran`] maps a dense
+/// right-hand side to the solution indexed by basis position;
+/// [`LuFactors::btran`] maps a position-indexed cost vector to row-indexed
+/// simplex multipliers.
+#[derive(Debug, Clone, Default)]
+pub struct LuFactors {
+    m: usize,
+    /// Column etas of `F`, applied in append order for FTRAN.
+    f_file: Vec<ColEta>,
+    /// Row etas of `H`, applied in append order for FTRAN.
+    h_file: Vec<RowEta>,
+    /// `V` column-wise: `(row, value)` entries of each basis position,
+    /// **excluding** the diagonal (kept in `vdiag`). Unordered.
+    vcols: Vec<Vec<(usize, f64)>>,
+    /// `V` row-wise mirror: `(position, value)` entries, no diagonals.
+    vrows: Vec<Vec<(usize, f64)>>,
+    /// Diagonal (pivot) value per basis position.
+    vdiag: Vec<f64>,
+    /// Elimination order: `order[t]` is the basis position pivoted at
+    /// step `t` (solves sweep it forwards for `Vᵀ`, backwards for `V`).
+    order: Vec<usize>,
+    /// Inverse of `order`.
+    step_of: Vec<usize>,
+    /// Pivot row of each basis position.
+    pivot_row_of: Vec<usize>,
+    /// Whether a usable factorization is loaded.
+    valid: bool,
+    /// `V`+`H` stored entries right after the last refactorization.
+    base_fill: usize,
+    /// Live `V` entry count (diagonals included), kept incrementally.
+    v_fill: usize,
+    /// Live `H` entry count.
+    h_fill: usize,
+    /// Forrest–Tomlin updates applied since the last refactorization
+    /// (some leave no `H` eta, so this is not `h_file.len()`).
+    updates_since: usize,
+    /// Dense scratch for the solve permutations.
+    scratch: Vec<f64>,
+    stats: FactorStats,
+}
+
+impl LuFactors {
+    /// An empty factorization; call [`LuFactors::factorize`] before
+    /// solving.
+    pub fn new() -> Self {
+        LuFactors::default()
+    }
+
+    /// Cumulative effort counters (never reset by refactorization).
+    pub fn stats(&self) -> FactorStats {
+        self.stats
+    }
+
+    /// Whether a usable factorization is currently loaded.
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    /// Forrest–Tomlin updates applied since the last refactorization.
+    pub fn updates_since_refactor(&self) -> usize {
+        self.updates_since
+    }
+
+    /// Whether the fill-in policy recommends a rebuild: the live factor
+    /// fill has grown past `FILL_GROWTH_LIMIT` times the
+    /// post-refactorization fill (plus one entry per row of slack), or
+    /// the update count hit the `MAX_UPDATES` drift backstop. Unlike
+    /// the product-form eta file this module replaces, triggering is a
+    /// *cost* decision — the factorization stays numerically valid either
+    /// way.
+    pub fn should_refactor(&self) -> bool {
+        self.updates_since >= MAX_UPDATES
+            || (self.v_fill + self.h_fill) as f64
+                > FILL_GROWTH_LIMIT * self.base_fill as f64 + self.m as f64
+    }
+
+    /// Factorizes the `m × m` basis whose column at position `p` is
+    /// produced by `column(p, &mut buf)` (pushing `(row, value)` entries,
+    /// duplicates pre-summed). Replaces any previous factorization.
+    ///
+    /// # Errors
+    ///
+    /// [`LuError::Singular`] when some elimination step finds no
+    /// acceptable pivot; the factorization is left unusable.
+    pub fn factorize(
+        &mut self,
+        m: usize,
+        mut column: impl FnMut(usize, &mut Vec<(usize, f64)>),
+    ) -> Result<(), LuError> {
+        self.m = m;
+        self.valid = false;
+        self.f_file.clear();
+        self.h_file.clear();
+        self.stats.refactorizations += 1;
+
+        // Active working matrix in dual form. Deleted entries are
+        // swap-removed; order within a list is irrelevant.
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+        let mut buf: Vec<(usize, f64)> = Vec::new();
+        for (p, col) in cols.iter_mut().enumerate() {
+            buf.clear();
+            column(p, &mut buf);
+            for &(r, v) in buf.iter() {
+                debug_assert!(r < m, "column {p} references row {r} of {m}");
+                if v != 0.0 {
+                    col.push((r, v));
+                    rows[r].push((p, v));
+                }
+            }
+        }
+
+        let mut col_active = vec![true; m];
+        let mut row_active = vec![true; m];
+        self.vcols = vec![Vec::new(); m];
+        self.vrows = vec![Vec::new(); m];
+        self.vdiag = vec![0.0; m];
+        self.order.clear();
+        self.step_of = vec![usize::MAX; m];
+        self.pivot_row_of = vec![usize::MAX; m];
+        self.scratch.clear();
+        self.scratch.resize(m, 0.0);
+        self.v_fill = 0;
+        self.h_fill = 0;
+        self.updates_since = 0;
+
+        for _step in 0..m {
+            let Some((pr, pc)) = markowitz_pivot(&cols, &rows, &col_active) else {
+                return Err(LuError::Singular);
+            };
+            let pivot_val = cols[pc]
+                .iter()
+                .find(|&&(r, _)| r == pr)
+                .map(|&(_, v)| v)
+                .expect("chosen pivot entry exists");
+
+            col_active[pc] = false;
+            row_active[pr] = false;
+            self.step_of[pc] = self.order.len();
+            self.order.push(pc);
+            self.pivot_row_of[pc] = pr;
+            self.vdiag[pc] = pivot_val;
+            self.v_fill += 1;
+
+            // Freeze row pr: its remaining active entries become the V
+            // row; drop them from the active columns.
+            let urow: Vec<(usize, f64)> = rows[pr]
+                .iter()
+                .filter(|&&(c, _)| col_active[c])
+                .map(|&(c, v)| (c, v))
+                .collect();
+            for &(c, v) in &urow {
+                remove_entry(&mut cols[c], pr);
+                self.vcols[c].push((pr, v));
+                self.vrows[pr].push((c, v));
+                self.v_fill += 1;
+            }
+            rows[pr].clear();
+
+            // Multipliers for the still-active entries of column pc.
+            let mults: Vec<(usize, f64)> = cols[pc]
+                .iter()
+                .filter(|&&(r, _)| row_active[r])
+                .map(|&(r, v)| (r, v / pivot_val))
+                .collect();
+            for &(r, _) in &mults {
+                remove_entry(&mut rows[r], pc);
+            }
+            cols[pc].clear();
+
+            // Right-looking update over the active submatrix:
+            // row_i -= mult_i × row_pr, generating fill-in.
+            for &(c, u) in &urow {
+                for &(r, mlt) in &mults {
+                    add_to_entry(&mut cols[c], r, -mlt * u, &mut rows[r], c);
+                }
+            }
+            if !mults.is_empty() {
+                self.f_file.push(ColEta {
+                    pivot_row: pr,
+                    entries: mults,
+                });
+            }
+        }
+        self.base_fill = self.v_fill;
+        self.stats.peak_fill = self.stats.peak_fill.max(self.v_fill);
+        self.valid = true;
+        Ok(())
+    }
+
+    /// `v ← B⁻¹ v` (dense, row-indexed in, **basis-position**-indexed
+    /// out). `spike`, when supplied, receives the partial transform
+    /// `H⁻¹F⁻¹ v` — exactly the vector a subsequent
+    /// [`LuFactors::replace_column`] for this column needs.
+    pub fn ftran(&mut self, v: &mut [f64], spike: Option<&mut Vec<f64>>) {
+        debug_assert!(self.valid, "ftran on an invalid factorization");
+        debug_assert_eq!(v.len(), self.m);
+        for eta in &self.f_file {
+            eta.ftran(v);
+        }
+        for eta in &self.h_file {
+            eta.ftran(v);
+        }
+        if let Some(s) = spike {
+            s.clear();
+            s.extend_from_slice(v);
+        }
+        // Back substitution V x = v over the elimination order; x for the
+        // position pivoted on row r accumulates at v[r].
+        for t in (0..self.m).rev() {
+            let p = self.order[t];
+            let r = self.pivot_row_of[p];
+            let xv = v[r] / self.vdiag[p];
+            if xv != 0.0 {
+                for &(row, val) in &self.vcols[p] {
+                    v[row] -= val * xv;
+                }
+            }
+            v[r] = xv;
+        }
+        // Permute row-indexed solution entries onto basis positions.
+        self.scratch.copy_from_slice(v);
+        for (vp, &row) in v.iter_mut().zip(&self.pivot_row_of) {
+            *vp = self.scratch[row];
+        }
+    }
+
+    /// `v ← B⁻ᵀ v` (dense, **basis-position**-indexed in, row-indexed
+    /// out — the simplex-multiplier convention `y = B⁻ᵀ c_B`).
+    pub fn btran(&mut self, v: &mut [f64]) {
+        debug_assert!(self.valid, "btran on an invalid factorization");
+        debug_assert_eq!(v.len(), self.m);
+        // Forward substitution Vᵀ z = v over the elimination order; the
+        // input is read per position, the output lands per row, so the
+        // result accumulates in scratch.
+        for t in 0..self.m {
+            let p = self.order[t];
+            let r = self.pivot_row_of[p];
+            let mut acc = v[p];
+            for &(row, val) in &self.vcols[p] {
+                acc -= val * self.scratch[row];
+            }
+            self.scratch[r] = acc / self.vdiag[p];
+        }
+        v.copy_from_slice(&self.scratch);
+        for eta in self.h_file.iter().rev() {
+            eta.btran(v);
+        }
+        for eta in self.f_file.iter().rev() {
+            eta.btran(v);
+        }
+    }
+
+    /// Forrest–Tomlin update: the basis column at position `p` is
+    /// replaced by the column whose partial FTRAN (`H⁻¹F⁻¹ a`, captured
+    /// by [`LuFactors::ftran`]) is `spike`.
+    ///
+    /// # Errors
+    ///
+    /// [`LuError::UnstableUpdate`] when the re-triangularised diagonal
+    /// fails the stability test; the factorization is unusable afterwards
+    /// and the caller must refactorize from the updated basis.
+    pub fn replace_column(&mut self, p: usize, spike: &[f64]) -> Result<(), LuError> {
+        debug_assert!(self.valid, "update on an invalid factorization");
+        debug_assert_eq!(spike.len(), self.m);
+        let t = self.step_of[p];
+        let r = self.pivot_row_of[p];
+
+        // Drop column p's current entries from the row mirror.
+        self.v_fill -= 1 + self.vcols[p].len();
+        let old_col = std::mem::take(&mut self.vcols[p]);
+        for (row, _) in old_col {
+            remove_entry(&mut self.vrows[row], p);
+        }
+
+        // Install the spike as the new column p, diagonal split off.
+        let mut spike_max = 0.0f64;
+        let mut diag = 0.0;
+        for (row, &val) in spike.iter().enumerate() {
+            if val.abs() <= DROP_TOL {
+                continue;
+            }
+            spike_max = spike_max.max(val.abs());
+            if row == r {
+                diag = val;
+            } else {
+                self.vcols[p].push((row, val));
+                self.vrows[row].push((p, val));
+                self.v_fill += 1;
+            }
+        }
+        self.v_fill += 1;
+
+        // Move position p to the back of the elimination order.
+        for s in t..self.m - 1 {
+            self.order[s] = self.order[s + 1];
+            self.step_of[self.order[s]] = s;
+        }
+        self.order[self.m - 1] = p;
+        self.step_of[p] = self.m - 1;
+
+        // Row r is no longer pivoted early: eliminate its entries in all
+        // columns now ordered before p, sweeping in elimination order so
+        // each step only creates fill in columns processed later. The
+        // multipliers become one appended H eta.
+        let mut eta_entries: Vec<(usize, f64)> = Vec::new();
+        for s in t..self.m - 1 {
+            let c = self.order[s];
+            let Some(idx) = self.vrows[r].iter().position(|&(pos, _)| pos == c) else {
+                continue;
+            };
+            let val = self.vrows[r][idx].1;
+            self.vrows[r].swap_remove(idx);
+            remove_entry(&mut self.vcols[c], r);
+            self.v_fill -= 1;
+            let mult = val / self.vdiag[c];
+            if mult.abs() <= DROP_TOL {
+                continue;
+            }
+            // row r -= mult × (pivot row of c), which lives in columns
+            // ordered after c plus the spike column p.
+            let pr_c = self.pivot_row_of[c];
+            let updates = self.vrows[pr_c].clone();
+            for (c2, u) in updates {
+                if c2 == p {
+                    continue; // the spike's pr_c entry feeds the diagonal
+                }
+                add_to_entry_v(
+                    &mut self.vrows[r],
+                    c2,
+                    -mult * u,
+                    &mut self.vcols[c2],
+                    r,
+                    &mut self.v_fill,
+                );
+            }
+            if let Some(&(_, sv)) = self.vcols[p].iter().find(|&&(row, _)| row == pr_c) {
+                diag -= mult * sv;
+            }
+            eta_entries.push((pr_c, mult));
+        }
+
+        // Stability test on the re-triangularised diagonal (Forrest–
+        // Tomlin): absolute floor plus a relative test against the spike.
+        if diag.abs() <= ABS_PIVOT_TOL || diag.abs() < REL_PIVOT_TOL * spike_max {
+            self.stats.rejected_updates += 1;
+            self.valid = false;
+            return Err(LuError::UnstableUpdate);
+        }
+        if !eta_entries.is_empty() {
+            self.h_fill += eta_entries.len();
+            self.h_file.push(RowEta {
+                row: r,
+                entries: eta_entries,
+            });
+        }
+        self.vdiag[p] = diag;
+        self.updates_since += 1;
+        self.stats.ft_updates += 1;
+        self.stats.peak_fill = self.stats.peak_fill.max(self.v_fill + self.h_fill);
+        Ok(())
+    }
+}
+
+/// Removes the entry keyed `key` from `list` if present (at most once);
+/// list order is not preserved.
+#[inline]
+fn remove_entry(list: &mut Vec<(usize, f64)>, key: usize) {
+    if let Some(idx) = list.iter().position(|&(k, _)| k == key) {
+        list.swap_remove(idx);
+    }
+}
+
+/// Adds `delta` to the `row` entry of active column `col`, mirroring into
+/// `row_list` (keyed by `col_key`); creates the entry on fill-in and
+/// drops it on cancellation, keeping the Markowitz counts honest.
+#[inline]
+fn add_to_entry(
+    col: &mut Vec<(usize, f64)>,
+    row: usize,
+    delta: f64,
+    row_list: &mut Vec<(usize, f64)>,
+    col_key: usize,
+) {
+    if let Some(idx) = col.iter().position(|&(r, _)| r == row) {
+        let nv = col[idx].1 + delta;
+        if nv.abs() <= DROP_TOL {
+            col.swap_remove(idx);
+            remove_entry(row_list, col_key);
+        } else {
+            col[idx].1 = nv;
+            if let Some(re) = row_list.iter_mut().find(|(c, _)| *c == col_key) {
+                re.1 = nv;
+            }
+        }
+    } else if delta.abs() > DROP_TOL {
+        col.push((row, delta));
+        row_list.push((col_key, delta));
+    }
+}
+
+/// [`add_to_entry`] for the `V` mirrors (row-major primary), tracking
+/// fill.
+#[inline]
+fn add_to_entry_v(
+    row_list: &mut Vec<(usize, f64)>,
+    col_key: usize,
+    delta: f64,
+    col: &mut Vec<(usize, f64)>,
+    row: usize,
+    fill: &mut usize,
+) {
+    if let Some(idx) = row_list.iter().position(|&(c, _)| c == col_key) {
+        let nv = row_list[idx].1 + delta;
+        if nv.abs() <= DROP_TOL {
+            row_list.swap_remove(idx);
+            remove_entry(col, row);
+            *fill -= 1;
+        } else {
+            row_list[idx].1 = nv;
+            if let Some(ce) = col.iter_mut().find(|(r, _)| *r == row) {
+                ce.1 = nv;
+            }
+        }
+    } else if delta.abs() > DROP_TOL {
+        row_list.push((col_key, delta));
+        col.push((row, delta));
+        *fill += 1;
+    }
+}
+
+/// Markowitz pivot search over the active submatrix: the entry
+/// minimising `(row_count − 1)(col_count − 1)` among threshold-eligible
+/// entries, scanning columns in increasing active count and settling
+/// after [`MARKOWITZ_SEARCH_COLS`] eligible columns (or immediately on a
+/// zero-cost pivot). Ties break on larger magnitude, then smaller
+/// `(row, col)`.
+fn markowitz_pivot(
+    cols: &[Vec<(usize, f64)>],
+    rows: &[Vec<(usize, f64)>],
+    col_active: &[bool],
+) -> Option<(usize, usize)> {
+    // Bucket the active columns by count (count 0 ⇒ structurally
+    // singular: unreachable as a pivot, surfaces as `None` at the end).
+    let mut buckets: Vec<Vec<usize>> = Vec::new();
+    for (c, col) in cols.iter().enumerate() {
+        if !col_active[c] || col.is_empty() {
+            continue;
+        }
+        let count = col.len();
+        if buckets.len() < count {
+            buckets.resize(count, Vec::new());
+        }
+        buckets[count - 1].push(c);
+    }
+    let mut best: Option<(usize, usize)> = None;
+    let mut best_cost = usize::MAX;
+    let mut best_mag = 0.0f64;
+    let mut examined = 0usize;
+    for bucket in &buckets {
+        for &c in bucket {
+            let col = &cols[c];
+            let col_max = col.iter().map(|&(_, v)| v.abs()).fold(0.0f64, f64::max);
+            if col_max <= ABS_PIVOT_TOL {
+                continue;
+            }
+            let mut found_any = false;
+            for &(r, v) in col {
+                if v.abs() < PIVOT_THRESHOLD * col_max || v.abs() <= ABS_PIVOT_TOL {
+                    continue;
+                }
+                found_any = true;
+                let cost = (rows[r].len() - 1) * (col.len() - 1);
+                let better = match best {
+                    None => true,
+                    Some((br, bc)) => {
+                        cost < best_cost
+                            || (cost == best_cost
+                                && (v.abs() > best_mag
+                                    || (v.abs() == best_mag && (r, c) < (br, bc))))
+                    }
+                };
+                if better {
+                    best = Some((r, c));
+                    best_cost = cost;
+                    best_mag = v.abs();
+                }
+            }
+            if found_any {
+                examined += 1;
+                if best_cost == 0 || examined >= MARKOWITZ_SEARCH_COLS {
+                    return best;
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense m×m reference: columns by position.
+    fn dense_from(cols: &[Vec<(usize, f64)>], m: usize) -> Vec<Vec<f64>> {
+        let mut a = vec![vec![0.0; m]; m];
+        for (p, col) in cols.iter().enumerate() {
+            for &(r, v) in col {
+                a[r][p] += v;
+            }
+        }
+        a
+    }
+
+    fn mat_vec(a: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+        a.iter()
+            .map(|row| row.iter().zip(x).map(|(r, v)| r * v).sum())
+            .collect()
+    }
+
+    fn mat_t_vec(a: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+        let m = a.len();
+        (0..m)
+            .map(|j| (0..m).map(|i| a[i][j] * x[i]).sum())
+            .collect()
+    }
+
+    fn factorize_cols(lu: &mut LuFactors, cols: &[Vec<(usize, f64)>]) -> Result<(), LuError> {
+        let m = cols.len();
+        lu.factorize(m, |p, buf| buf.extend_from_slice(&cols[p]))
+    }
+
+    /// FTRAN/BTRAN of `lu` must invert the dense reference on a basis of
+    /// unit vectors.
+    fn check_inverse(lu: &mut LuFactors, a: &[Vec<f64>]) {
+        let m = a.len();
+        for k in 0..m {
+            // ftran: B x = e_k  ⇒  B x must reproduce e_k.
+            let mut v = vec![0.0; m];
+            v[k] = 1.0;
+            lu.ftran(&mut v, None);
+            let back = mat_vec(a, &v);
+            for (i, &b) in back.iter().enumerate() {
+                let expect = if i == k { 1.0 } else { 0.0 };
+                assert!(
+                    (b - expect).abs() < 1e-8,
+                    "ftran residual at ({i},{k}): {b} vs {expect}"
+                );
+            }
+            // btran: Bᵀ y = e_k  ⇒  Bᵀ y must reproduce e_k.
+            let mut v = vec![0.0; m];
+            v[k] = 1.0;
+            lu.btran(&mut v);
+            let back = mat_t_vec(a, &v);
+            for (i, &b) in back.iter().enumerate() {
+                let expect = if i == k { 1.0 } else { 0.0 };
+                assert!(
+                    (b - expect).abs() < 1e-8,
+                    "btran residual at ({i},{k}): {b} vs {expect}"
+                );
+            }
+        }
+    }
+
+    /// Deterministic pseudo-random stream (SplitMix64) for test matrices.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A random sparse nonsingular matrix: identity diagonal plus a few
+    /// off-diagonal entries.
+    fn random_cols(m: usize, extra: usize, seed: u64) -> Vec<Vec<(usize, f64)>> {
+        let mut s = seed;
+        let mut cols: Vec<Vec<(usize, f64)>> = (0..m).map(|p| vec![(p, 2.0)]).collect();
+        for _ in 0..extra {
+            let r = (splitmix(&mut s) % m as u64) as usize;
+            let c = (splitmix(&mut s) % m as u64) as usize;
+            if r == c {
+                continue;
+            }
+            let v = ((splitmix(&mut s) % 9) as f64 - 4.0) / 4.0;
+            if v != 0.0 && !cols[c].iter().any(|&(row, _)| row == r) {
+                cols[c].push((r, v));
+            }
+        }
+        cols
+    }
+
+    #[test]
+    fn identity_round_trip() {
+        let cols: Vec<Vec<(usize, f64)>> = (0..5).map(|p| vec![(p, 1.0)]).collect();
+        let mut lu = LuFactors::new();
+        factorize_cols(&mut lu, &cols).unwrap();
+        let mut v = vec![3.0, -1.0, 0.5, 2.0, 7.0];
+        let orig = v.clone();
+        lu.ftran(&mut v, None);
+        assert_eq!(v, orig);
+        lu.btran(&mut v);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn permuted_diagonal_solves() {
+        // Columns are scaled unit vectors in scrambled row order: pure
+        // permutation handling, no elimination at all.
+        let rows = [2usize, 0, 3, 1];
+        let cols: Vec<Vec<(usize, f64)>> = rows
+            .iter()
+            .enumerate()
+            .map(|(p, &r)| vec![(r, (p + 1) as f64)])
+            .collect();
+        let a = dense_from(&cols, 4);
+        let mut lu = LuFactors::new();
+        factorize_cols(&mut lu, &cols).unwrap();
+        check_inverse(&mut lu, &a);
+    }
+
+    #[test]
+    fn random_sparse_matrices_invert() {
+        for seed in 0..20u64 {
+            let m = 3 + (seed % 8) as usize;
+            let cols = random_cols(m, 3 * m, 0xC0FFEE ^ seed);
+            let a = dense_from(&cols, m);
+            let mut lu = LuFactors::new();
+            factorize_cols(&mut lu, &cols).unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            check_inverse(&mut lu, &a);
+        }
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        // Two identical columns.
+        let cols = vec![vec![(0, 1.0), (1, 1.0)], vec![(0, 1.0), (1, 1.0)]];
+        let mut lu = LuFactors::new();
+        assert_eq!(factorize_cols(&mut lu, &cols), Err(LuError::Singular));
+        assert!(!lu.is_valid());
+        // Structurally empty column.
+        let cols = vec![vec![(0, 1.0), (1, 1.0)], vec![]];
+        assert_eq!(factorize_cols(&mut lu, &cols), Err(LuError::Singular));
+    }
+
+    #[test]
+    fn forrest_tomlin_matches_refactorization() {
+        // Apply a chain of column replacements via FT updates and check
+        // the solves against a fresh factorization of the same matrix
+        // after every step.
+        let m = 7;
+        let mut cols = random_cols(m, 2 * m, 0xFEED);
+        let mut lu = LuFactors::new();
+        factorize_cols(&mut lu, &cols).unwrap();
+        let mut s = 0xF00Du64;
+        for step in 0..24 {
+            let p = (splitmix(&mut s) % m as u64) as usize;
+            // New column: diagonal-dominant so updates stay acceptable.
+            let mut newcol = vec![(p, 3.0 + (step % 3) as f64)];
+            let r = (splitmix(&mut s) % m as u64) as usize;
+            if r != p {
+                newcol.push((r, 1.0 - ((step % 5) as f64) / 2.0));
+            }
+            // Spike = H⁻¹F⁻¹ a, captured through a full FTRAN.
+            let mut dense = vec![0.0; m];
+            for &(row, v) in &newcol {
+                dense[row] += v;
+            }
+            let mut spike = Vec::new();
+            lu.ftran(&mut dense, Some(&mut spike));
+            lu.replace_column(p, &spike)
+                .unwrap_or_else(|e| panic!("step {step}: {e:?}"));
+            cols[p] = newcol;
+            let a = dense_from(&cols, m);
+            check_inverse(&mut lu, &a);
+        }
+        assert_eq!(lu.stats().ft_updates, 24);
+        assert_eq!(lu.stats().refactorizations, 1);
+        assert_eq!(lu.updates_since_refactor(), 24);
+    }
+
+    #[test]
+    fn hundreds_of_updates_without_refactorization() {
+        // The drift backstop is deliberately high: a long well-behaved
+        // warm-start chain must be able to push hundreds of
+        // Forrest–Tomlin updates through one factorization and stay
+        // exact against the dense reference.
+        let m = 10;
+        let mut cols = random_cols(m, 2 * m, 0x1E57);
+        let mut lu = LuFactors::new();
+        factorize_cols(&mut lu, &cols).unwrap();
+        let mut s = 0xCAFEu64;
+        for step in 0..300 {
+            let p = (splitmix(&mut s) % m as u64) as usize;
+            let mut newcol = vec![(p, 2.5 + ((step % 4) as f64) / 2.0)];
+            let r = (splitmix(&mut s) % m as u64) as usize;
+            if r != p {
+                newcol.push((r, 1.0 - ((step % 3) as f64) / 2.0));
+            }
+            let mut dense = vec![0.0; m];
+            for &(row, v) in &newcol {
+                dense[row] += v;
+            }
+            let mut spike = Vec::new();
+            lu.ftran(&mut dense, Some(&mut spike));
+            lu.replace_column(p, &spike)
+                .unwrap_or_else(|e| panic!("step {step}: {e:?}"));
+            cols[p] = newcol;
+            // Full inverse checks are O(m²); sample the chain.
+            if step % 25 == 24 || step == 299 {
+                let a = dense_from(&cols, m);
+                check_inverse(&mut lu, &a);
+            }
+        }
+        assert_eq!(lu.stats().refactorizations, 1, "no intervening rebuild");
+        assert_eq!(lu.stats().ft_updates, 300);
+        assert_eq!(lu.updates_since_refactor(), 300);
+    }
+
+    #[test]
+    fn unstable_update_rejected() {
+        // Replacing a column with (almost) a copy of another column makes
+        // the basis singular; the FT stability test must refuse rather
+        // than produce a garbage factorization.
+        let cols = vec![vec![(0, 1.0)], vec![(1, 1.0)], vec![(2, 1.0)]];
+        let mut lu = LuFactors::new();
+        factorize_cols(&mut lu, &cols).unwrap();
+        // New column 2 := e_1 (duplicates column 1).
+        let mut dense = vec![0.0, 1.0, 0.0];
+        let mut spike = Vec::new();
+        lu.ftran(&mut dense, Some(&mut spike));
+        assert_eq!(lu.replace_column(2, &spike), Err(LuError::UnstableUpdate));
+        assert!(!lu.is_valid());
+        assert_eq!(lu.stats().rejected_updates, 1);
+    }
+
+    #[test]
+    fn fill_policy_eventually_requests_refactorization() {
+        // Dense-ish replacement columns grow V fill until the policy
+        // trips; it must not trip right after a fresh factorization.
+        let m = 6;
+        let cols = random_cols(m, m, 0xABCD);
+        let mut lu = LuFactors::new();
+        factorize_cols(&mut lu, &cols).unwrap();
+        assert!(!lu.should_refactor(), "fresh factorization must be clean");
+        let mut s = 0x5EEDu64;
+        let mut tripped = false;
+        for _ in 0..512 {
+            let p = (splitmix(&mut s) % m as u64) as usize;
+            // A dense column: every row populated.
+            let mut dense: Vec<f64> = (0..m)
+                .map(|i| {
+                    1.0 + ((splitmix(&mut s) % 7) as f64) / 4.0 + if i == p { 3.0 } else { 0.0 }
+                })
+                .collect();
+            let mut spike = Vec::new();
+            lu.ftran(&mut dense, Some(&mut spike));
+            if lu.replace_column(p, &spike).is_err() {
+                factorize_cols(&mut lu, &random_cols(m, m, s)).unwrap();
+                continue;
+            }
+            if lu.should_refactor() {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "fill/update policy never requested a rebuild");
+    }
+}

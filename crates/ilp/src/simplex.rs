@@ -18,9 +18,14 @@
 //!   test lets them block (and leave) at the bound they are approaching.
 //!   Because this works from *any* basis, branch-and-bound warm-starts
 //!   every child node from its parent's optimal [`Basis`];
-//! * the basis inverse is a **product-form eta file** rebuilt (partial
-//!   pivoting, sparsest column first) every [`REFACTOR_EVERY`] *appended*
-//!   etas, at which point the basic values are recomputed to bound drift;
+//! * the basis is held as a **sparse LU factorization**
+//!   ([`crate::lu::LuFactors`]: Markowitz pivot ordering, threshold
+//!   partial pivoting) updated in place by **Forrest–Tomlin** after every
+//!   pivot; refactorization is triggered by the factor's own
+//!   stability/fill-in policy instead of a fixed cadence, while the basic
+//!   values are still recomputed exactly every `VALUES_REFRESH` pivots
+//!   (the degenerate path-cover LPs branch measurably better against
+//!   exact values — that cadence is a solver choice, not a factor one);
 //! * pricing is **projected steepest-edge (Devex)** — the entering column
 //!   maximises `d²/w` with reference weights updated from the pivot row —
 //!   falling back to **Bland's rule** while a degenerate streak persists
@@ -37,6 +42,7 @@
 //! [`crate::MilpSolver`].
 
 use crate::expr::SparseVec;
+use crate::lu::{FactorStats, LuFactors};
 use crate::model::ConstraintOp;
 use crate::sparse::CscMatrix;
 use std::time::Instant;
@@ -48,18 +54,33 @@ pub const EPS: f64 = 1e-9;
 const FEAS_TOL: f64 = 1e-7;
 /// Reduced-cost threshold below which a column may enter.
 const DUAL_TOL: f64 = 1e-9;
-/// Entries smaller than this are dropped from eta vectors.
-const DROP_TOL: f64 = 1e-12;
-/// Pivots below this magnitude make a refactorization declare the basis
-/// numerically singular.
-const SING_TOL: f64 = 1e-10;
-/// Rebuild the eta file (and recompute basic values) once this many etas
-/// have been appended since the last rebuild. Deliberately small: the
-/// path-cover LPs are so degenerate that the exact basic values restored
-/// by each rebuild measurably steer the ratio test — larger cadences make
-/// individual pivots cheaper but balloon the pivot (and branch-and-bound
-/// node) count on the 5×5 instances.
-const REFACTOR_EVERY: usize = 8;
+/// Basic-value drift (incremental vs freshly recomputed, max-norm) above
+/// which the periodic refresh escalates to a full refactorization: the
+/// factors themselves have degraded, not just the running values.
+const DRIFT_REFACTOR_TOL: f64 = 1e-8;
+/// A blocking pivot element smaller than this on a non-fresh
+/// factorization triggers a refactorize-and-retry of the iteration
+/// instead of a Forrest–Tomlin update on a stale tiny pivot.
+const SMALL_PIVOT_TOL: f64 = 1e-7;
+/// Recompute the basic values from the bounds every this many pivots.
+/// Deliberately small: the path-cover LPs are so degenerate that exact
+/// basic values measurably steer the ratio test — PR 4 measured a 50×
+/// node blowup at a large cadence. With the LU basis this refresh is one
+/// FTRAN, **decoupled** from the (much more expensive, policy-driven)
+/// refactorization.
+const VALUES_REFRESH: usize = 8;
+/// Refactorize once this many Forrest–Tomlin updates have accumulated,
+/// even though the factors are still numerically healthy. This is a
+/// *branching-quality* knob, not a stability one (the LU layer's own
+/// drift backstop sits far higher): on the degenerate path-cover LPs,
+/// crisper alphas from a fresher factor measurably improve ratio-test
+/// tie decisions — sweeping the 5×5 exact cover gave 0.6s at 16 vs 15s
+/// at 256 updates. This cadence means engine-driven solves never exceed
+/// 16 updates per factor; the LU layer itself supports far longer runs
+/// (its drift backstop sits at 1024 — see the
+/// `hundreds_of_updates_without_refactorization` unit test in
+/// [`crate::lu`]).
+const UPDATES_REFACTOR: usize = 16;
 /// Deadline polling stride inside the pivot loop.
 const DEADLINE_CHECK_EVERY: usize = 128;
 /// Consecutive degenerate pivots before Bland's rule engages.
@@ -277,38 +298,6 @@ enum VStat {
     AtUpper,
 }
 
-/// One product-form elementary matrix: pivoting column `w` on row
-/// `pivot_row` (entries hold `w[i]` for `i ≠ pivot_row`).
-struct Eta {
-    pivot_row: usize,
-    pivot_val: f64,
-    entries: Vec<(usize, f64)>,
-}
-
-impl Eta {
-    /// `v ← E v` (forward transformation step).
-    #[inline]
-    fn ftran(&self, v: &mut [f64]) {
-        let t = v[self.pivot_row] / self.pivot_val;
-        if t != 0.0 {
-            for &(i, w) in &self.entries {
-                v[i] -= w * t;
-            }
-        }
-        v[self.pivot_row] = t;
-    }
-
-    /// `v ← Eᵀ v` (backward transformation step).
-    #[inline]
-    fn btran(&self, v: &mut [f64]) {
-        let mut t = v[self.pivot_row];
-        for &(i, w) in &self.entries {
-            t -= w * v[i];
-        }
-        v[self.pivot_row] = t / self.pivot_val;
-    }
-}
-
 /// Outcome of the bounded-variable ratio test.
 enum Ratio {
     /// Entering variable travels its whole span to the opposite bound; no
@@ -344,17 +333,16 @@ pub struct SimplexEngine<'a> {
     cost: Vec<f64>,
     x: Vec<f64>,
     stat: Vec<VStat>,
-    /// Basic variable per row position.
+    /// Basic variable per basis position.
     basis: Vec<usize>,
-    etas: Vec<Eta>,
-    /// Eta-file length right after the last refactorization: the rebuilt
-    /// base holds one eta per structural basic column, so the periodic
-    /// refactor trigger must count only etas *appended* since (comparing
-    /// the total length against the cadence would re-trigger on every
-    /// pivot once the basis carries more structurals than the cadence).
-    base_etas: usize,
-    /// Whether (basis, etas) are currently coherent.
-    factored: bool,
+    /// Sparse LU factorization of the basis, Forrest–Tomlin updated in
+    /// place; its validity flag doubles as the old "factored" marker.
+    lu: LuFactors,
+    /// Scratch: the entering column's partial FTRAN (`H⁻¹F⁻¹a_q`), the
+    /// spike a Forrest–Tomlin update consumes.
+    spike: Vec<f64>,
+    /// Pivots since the basic values were last recomputed exactly.
+    pivots_since_refresh: usize,
     /// Devex reference weights per variable.
     weights: Vec<f64>,
     /// Scratch for the Devex pivot-row BTRAN.
@@ -402,9 +390,9 @@ impl<'a> SimplexEngine<'a> {
             x: vec![0.0; ntotal],
             stat: vec![VStat::AtLower; ntotal],
             basis: Vec::with_capacity(m),
-            etas: Vec::new(),
-            base_etas: 0,
-            factored: false,
+            lu: LuFactors::new(),
+            spike: Vec::new(),
+            pivots_since_refresh: 0,
             weights: vec![1.0; ntotal],
             rho: vec![0.0; m],
             y: vec![0.0; m],
@@ -454,35 +442,68 @@ impl<'a> SimplexEngine<'a> {
         // hands back exactly the basis this engine last held; otherwise
         // install and refactorize the snapshot; otherwise start cold from
         // the slack basis (which phase 1 can always repair).
-        let reuse = self.factored
+        let reuse = self.lu.is_valid()
             && warm.is_some_and(|w| w.basis == self.basis && w.at_upper.len() == self.n + self.m);
         if reuse {
             self.reclamp_nonbasics();
-            self.recompute_basic_values();
+            let _ = self.recompute_basic_values();
         } else if !(warm.is_some_and(|w| self.install_basis(w)) && self.refactorize().is_ok()) {
             self.cold_start();
         }
 
         let max_iters = 2000 + 60 * (self.m + self.n + self.m);
 
-        // Phase 1 (only when some basic value violates its bounds).
-        if self.has_violations() {
-            let status = self.optimize(true, max_iters, deadline);
+        // Both phases, wrapped in a bounded certification loop: an
+        // `Infeasible` or `Optimal` verdict is only ever issued off a
+        // factorization that has absorbed no Forrest–Tomlin updates, or
+        // off a point whose factor-independent primal residual checks
+        // out — branch-and-bound consumes these verdicts as *proofs*.
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            // Phase 1 (only when some basic value violates its bounds).
+            if self.has_violations() {
+                let status = self.optimize(true, max_iters, deadline);
+                if status != LpStatus::Optimal {
+                    return (LpSolution::failed(status, n, self.iterations), None);
+                }
+                if self.has_violations() {
+                    if self.lu.updates_since_refactor() > 0 && attempt < 3 {
+                        // Re-prove the impending infeasibility verdict
+                        // from a fresh factorization.
+                        if self.refactorize().is_err() {
+                            return (
+                                LpSolution::failed(LpStatus::IterationLimit, n, self.iterations),
+                                None,
+                            );
+                        }
+                        continue;
+                    }
+                    return (
+                        LpSolution::failed(LpStatus::Infeasible, n, self.iterations),
+                        None,
+                    );
+                }
+            }
+
+            // Phase 2: the real objective.
+            let status = self.optimize(false, max_iters, deadline);
             if status != LpStatus::Optimal {
                 return (LpSolution::failed(status, n, self.iterations), None);
             }
-            if self.has_violations() {
+            // Factor-independent audit: the reported point must satisfy
+            // the rows (logicals absorb each row, so the residual is a
+            // direct A·x check) and the basic bounds.
+            if self.primal_residual() <= FEAS_TOL && !self.has_violations() {
+                break;
+            }
+            if attempt >= 3 || self.refactorize().is_err() {
+                // Refuse to report a point that fails its own audit.
                 return (
-                    LpSolution::failed(LpStatus::Infeasible, n, self.iterations),
+                    LpSolution::failed(LpStatus::IterationLimit, n, self.iterations),
                     None,
                 );
             }
-        }
-
-        // Phase 2: the real objective.
-        let status = self.optimize(false, max_iters, deadline);
-        if status != LpStatus::Optimal {
-            return (LpSolution::failed(status, n, self.iterations), None);
         }
 
         let x: Vec<f64> = self.x[..n].to_vec();
@@ -514,10 +535,8 @@ impl<'a> SimplexEngine<'a> {
             self.basis.push(self.n + i);
             self.stat[self.n + i] = VStat::Basic;
         }
-        self.etas.clear();
-        self.base_etas = 0;
-        self.factored = true;
-        self.recompute_basic_values();
+        self.refactorize()
+            .expect("the all-logical slack basis is a nonsingular diagonal");
     }
 
     /// Re-rests every nonbasic variable on a finite bound under the
@@ -570,6 +589,25 @@ impl<'a> SimplexEngine<'a> {
         true
     }
 
+    /// Worst row residual `|a_r·x + s_r − b_r|` of the current point —
+    /// an audit that does **not** go through the factorization, so it
+    /// stays trustworthy when the factors have degraded.
+    fn primal_residual(&self) -> f64 {
+        let mut residual = self.lp.rhs.clone();
+        for j in 0..self.n {
+            let xj = self.x[j];
+            if xj != 0.0 {
+                for (r, v) in self.lp.cols.col(j) {
+                    residual[r] -= v * xj;
+                }
+            }
+        }
+        for (i, r) in residual.iter_mut().enumerate() {
+            *r -= self.x[self.n + i];
+        }
+        residual.iter().fold(0.0f64, |acc, r| acc.max(r.abs()))
+    }
+
     /// Whether any basic value sits outside its bounds beyond [`FEAS_TOL`].
     fn has_violations(&self) -> bool {
         self.basis
@@ -600,94 +638,59 @@ impl<'a> SimplexEngine<'a> {
         }
     }
 
-    /// `out = B⁻¹ · column j` through the eta file.
-    fn ftran_col(&self, j: usize, out: &mut Vec<f64>) {
+    /// `out = B⁻¹ · column j` through the LU factors, capturing the
+    /// partial transform (the Forrest–Tomlin spike) for a later
+    /// [`SimplexEngine::apply_pivot`] on this column.
+    fn ftran_col(&mut self, j: usize, out: &mut Vec<f64>) {
         out.clear();
         out.resize(self.m, 0.0);
-        self.for_col(j, |r, v| out[r] += v);
-        for e in &self.etas {
-            e.ftran(out);
+        if j < self.n {
+            for (r, v) in self.lp.cols.col(j) {
+                out[r] += v;
+            }
+        } else {
+            out[j - self.n] = 1.0;
         }
+        let mut spike = std::mem::take(&mut self.spike);
+        self.lu.ftran(out, Some(&mut spike));
+        self.spike = spike;
     }
 
-    /// `v ← B⁻ᵀ v` through the eta file.
-    fn btran(&self, v: &mut [f64]) {
-        for e in self.etas.iter().rev() {
-            e.btran(v);
-        }
+    /// `v ← B⁻ᵀ v` through the LU factors.
+    fn btran(&mut self, v: &mut [f64]) {
+        self.lu.btran(v);
     }
 
-    /// Rebuilds the eta file from the current basis (unit columns first,
-    /// then structural columns sparsest-first with partial pivoting) and
-    /// recomputes the basic values, bounding numerical drift.
+    /// Rebuilds the LU factorization from the current basis columns
+    /// (Markowitz ordering, threshold partial pivoting) and recomputes
+    /// the basic values, bounding numerical drift.
     ///
-    /// Errors when the basis is numerically singular.
+    /// Errors when the basis is numerically singular; the factorization
+    /// is then invalid, which the warm-reuse path in `solve` detects.
     fn refactorize(&mut self) -> Result<(), ()> {
-        let m = self.m;
-        // The file is torn down first, so the engine is incoherent until
-        // the rebuild completes: mark it so a failure can never be
-        // mistaken for a live factorization (the warm-reuse path in
-        // `solve` and the appended-eta trigger both key off `factored`).
-        self.factored = false;
-        self.etas.clear();
-        let mut taken = vec![false; m];
-        let mut new_basis = vec![usize::MAX; m];
-        let mut pending: Vec<usize> = Vec::new();
-        for p in 0..m {
-            let v = self.basis[p];
-            if v >= self.n {
-                // Logical column: a unit vector on its own row, no eta.
-                let row = v - self.n;
-                if taken[row] {
-                    return Err(());
-                }
-                taken[row] = true;
-                new_basis[row] = v;
+        let (cols, n, basis) = (&self.lp.cols, self.n, &self.basis);
+        let result = self.lu.factorize(self.m, |p, buf| {
+            let v = basis[p];
+            if v < n {
+                buf.extend(cols.col(v));
             } else {
-                pending.push(v);
+                buf.push((v - n, 1.0));
             }
+        });
+        self.pivots_since_refresh = 0;
+        match result {
+            Ok(()) => {
+                let _ = self.recompute_basic_values();
+                Ok(())
+            }
+            Err(_) => Err(()),
         }
-        // Sparsest columns first keeps the eta file short.
-        pending.sort_unstable_by_key(|&v| (self.lp.cols.col_nnz(v), v));
-        let mut w = vec![0.0; m];
-        for &v in &pending {
-            w.iter_mut().for_each(|e| *e = 0.0);
-            self.for_col(v, |r, val| w[r] += val);
-            for e in &self.etas {
-                e.ftran(&mut w);
-            }
-            let mut pr = usize::MAX;
-            let mut best = SING_TOL;
-            for (p, &used) in taken.iter().enumerate().take(m) {
-                if !used && w[p].abs() > best {
-                    best = w[p].abs();
-                    pr = p;
-                }
-            }
-            if pr == usize::MAX {
-                return Err(());
-            }
-            taken[pr] = true;
-            new_basis[pr] = v;
-            let entries: Vec<(usize, f64)> = (0..m)
-                .filter(|&i| i != pr && w[i].abs() > DROP_TOL)
-                .map(|i| (i, w[i]))
-                .collect();
-            self.etas.push(Eta {
-                pivot_row: pr,
-                pivot_val: w[pr],
-                entries,
-            });
-        }
-        self.base_etas = self.etas.len();
-        self.basis = new_basis;
-        self.factored = true;
-        self.recompute_basic_values();
-        Ok(())
     }
 
-    /// Recomputes `x_B = B⁻¹ (b − N x_N)` from the nonbasic values.
-    fn recompute_basic_values(&mut self) {
+    /// Recomputes `x_B = B⁻¹ (b − N x_N)` from the nonbasic values,
+    /// returning how far the incrementally maintained values had drifted
+    /// (max-norm) — the solver's cheap factorization-health probe.
+    fn recompute_basic_values(&mut self) -> f64 {
         let mut r = self.lp.rhs.clone();
         for j in 0..self.n + self.m {
             if self.stat[j] == VStat::Basic {
@@ -698,12 +701,20 @@ impl<'a> SimplexEngine<'a> {
                 self.for_col(j, |row, v| r[row] -= v * xj);
             }
         }
-        for e in &self.etas {
-            e.ftran(&mut r);
-        }
+        self.lu.ftran(&mut r, None);
+        let mut drift = 0.0f64;
         for (&v, &val) in self.basis.iter().zip(&r) {
+            drift = drift.max((self.x[v] - val).abs());
             self.x[v] = val;
         }
+        self.pivots_since_refresh = 0;
+        drift
+    }
+
+    /// Cumulative basis-maintenance counters of this engine (survive
+    /// refactorizations; shared across all solves on this engine).
+    pub fn factor_stats(&self) -> FactorStats {
+        self.lu.stats()
     }
 
     /// Picks the entering variable: Devex `d²/w` score, or the
@@ -811,7 +822,13 @@ impl<'a> SimplexEngine<'a> {
                 to_upper = hits_upper;
             }
         }
-        if span <= pivot_theta {
+        // EPS-toleranced like every other ratio tie in this loop: on a
+        // degenerate tie between the entering span and the blocking
+        // ratio, prefer the flip — it needs no pivot at all, while the
+        // tied blocker may carry an arbitrarily small (unstable) alpha.
+        // The overshoot this admits is at most EPS·|rate|, inside
+        // [`FEAS_TOL`] for the O(1)-scaled path-cover rows.
+        if span <= pivot_theta + EPS {
             if span.is_infinite() {
                 return Ratio::Unbounded;
             }
@@ -893,8 +910,13 @@ impl<'a> SimplexEngine<'a> {
         }
     }
 
-    /// Executes a basis-changing pivot: updates values, statuses, the
-    /// basis map, and appends the eta for `alpha`.
+    /// Executes a basis-changing pivot: updates values, statuses and the
+    /// basis map, then Forrest–Tomlin-updates the factorization with the
+    /// spike captured by the entering column's FTRAN. When the update is
+    /// rejected by the stability test, the basis is refactorized from
+    /// scratch instead; `false` means even that failed (numerically
+    /// singular basis — the caller must abort the solve).
+    #[must_use]
     fn apply_pivot(
         &mut self,
         q: usize,
@@ -903,7 +925,7 @@ impl<'a> SimplexEngine<'a> {
         pos: usize,
         theta: f64,
         to_upper: bool,
-    ) {
+    ) -> bool {
         let d = f64::from(dir);
         if theta != 0.0 {
             for (p, &a) in alpha.iter().enumerate() {
@@ -928,17 +950,13 @@ impl<'a> SimplexEngine<'a> {
         };
         self.stat[q] = VStat::Basic;
         self.basis[pos] = q;
-        let entries: Vec<(usize, f64)> = alpha
-            .iter()
-            .enumerate()
-            .filter(|&(p, &a)| p != pos && a.abs() > DROP_TOL)
-            .map(|(p, &a)| (p, a))
-            .collect();
-        self.etas.push(Eta {
-            pivot_row: pos,
-            pivot_val: alpha[pos],
-            entries,
-        });
+        self.pivots_since_refresh += 1;
+        let spike = std::mem::take(&mut self.spike);
+        let updated = self.lu.replace_column(pos, &spike);
+        self.spike = spike;
+        // A rejected update leaves the factors unusable: rebuild from the
+        // (already updated) basis, which also restores exact values.
+        updated.is_ok() || self.refactorize().is_ok()
     }
 
     /// Moves the entering variable across its whole span to the opposite
@@ -972,6 +990,9 @@ impl<'a> SimplexEngine<'a> {
         let bland_forever_after = 1000 + 10 * (self.m + self.n);
         let mut local = 0usize;
         let mut degen_streak = 0usize;
+        // Whether the current resting point has been re-verified from
+        // freshly recomputed values (cleared by any move).
+        let mut certified = false;
         let mut y = std::mem::take(&mut self.y);
         let mut alpha = std::mem::take(&mut self.alpha);
         y.clear();
@@ -987,7 +1008,17 @@ impl<'a> SimplexEngine<'a> {
                     }
                 }
             }
-            if self.etas.len().saturating_sub(self.base_etas) >= REFACTOR_EVERY
+            // Refactorize when the factor's stability/fill policy asks
+            // for it; otherwise refresh the basic values (one FTRAN) on
+            // the short cadence that keeps degenerate branching honest,
+            // escalating to a refactorization when the measured drift
+            // says the factors themselves have degraded.
+            if self.lu.should_refactor() || self.lu.updates_since_refactor() >= UPDATES_REFACTOR {
+                if self.refactorize().is_err() {
+                    break LpStatus::IterationLimit;
+                }
+            } else if self.pivots_since_refresh >= VALUES_REFRESH
+                && self.recompute_basic_values() > DRIFT_REFACTOR_TOL
                 && self.refactorize().is_err()
             {
                 break LpStatus::IterationLimit;
@@ -1012,10 +1043,37 @@ impl<'a> SimplexEngine<'a> {
                 };
             }
             if phase1 && !any_violation {
+                // Terminate only off freshly recomputed basic values: the
+                // incremental ones may under-report violations (the break
+                // is consumed as a feasibility claim by phase 2). One
+                // FTRAN, escalating to a rebuild when the measured drift
+                // says the factors themselves have degraded.
+                if !certified {
+                    certified = true;
+                    if self.recompute_basic_values() > DRIFT_REFACTOR_TOL
+                        && self.refactorize().is_err()
+                    {
+                        break LpStatus::IterationLimit;
+                    }
+                    local += 1;
+                    continue;
+                }
                 break LpStatus::Optimal;
             }
             self.btran(&mut y);
             let Some((q, dir)) = self.price(&y, phase1, bland) else {
+                // Same certification as the phase-1 break: refresh the
+                // values once and re-price before declaring optimality.
+                if !certified {
+                    certified = true;
+                    if self.recompute_basic_values() > DRIFT_REFACTOR_TOL
+                        && self.refactorize().is_err()
+                    {
+                        break LpStatus::IterationLimit;
+                    }
+                    local += 1;
+                    continue;
+                }
                 break LpStatus::Optimal;
             };
             self.ftran_col(q, &mut alpha);
@@ -1033,12 +1091,24 @@ impl<'a> SimplexEngine<'a> {
                 Ratio::BoundFlip => {
                     self.apply_bound_flip(q, dir, &alpha);
                     degen_streak = 0;
+                    certified = false;
                 }
                 Ratio::Pivot {
                     pos,
                     theta,
                     to_upper,
                 } => {
+                    // A tiny blocking pivot on a factor that has absorbed
+                    // updates is as likely stale arithmetic as a genuine
+                    // degenerate pivot: refactorize and redo the
+                    // iteration with exact alphas before committing.
+                    if alpha[pos].abs() < SMALL_PIVOT_TOL && self.lu.updates_since_refactor() > 0 {
+                        if self.refactorize().is_err() {
+                            break LpStatus::IterationLimit;
+                        }
+                        local += 1;
+                        continue;
+                    }
                     if theta <= 1e-10 {
                         degen_streak += 1;
                         self.total_degen += 1;
@@ -1046,7 +1116,10 @@ impl<'a> SimplexEngine<'a> {
                         degen_streak = 0;
                     }
                     self.devex_update(q, &alpha, pos);
-                    self.apply_pivot(q, dir, &alpha, pos, theta, to_upper);
+                    if !self.apply_pivot(q, dir, &alpha, pos, theta, to_upper) {
+                        break LpStatus::IterationLimit;
+                    }
+                    certified = false;
                 }
             }
             self.iterations += 1;
@@ -1264,6 +1337,31 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_bound_flip_tie_prefers_the_flip() {
+        // min −x with x ∈ [0, 1] against the row 1e-6·x ≤ 1e-6·(1 − 1e-10):
+        // the blocking ratio (1 − 1e-10) ties with the bound span (1.0)
+        // inside EPS, and the blocker's pivot element is a tiny 1e-6. An
+        // exact `span <= theta` comparison takes the unstable tiny-alpha
+        // pivot and lands at x = 1 − 1e-10; the EPS-toleranced tie must
+        // flip x cleanly onto its upper bound instead (the admitted row
+        // overshoot, 1e-16, is far inside FEAS_TOL).
+        let p = LpProblem {
+            objective: vec![-1.0],
+            rows: vec![row(&[(0, 1e-6)], ConstraintOp::Leq, 1e-6 * (1.0 - 1e-10))],
+            lower: vec![0.0],
+            upper: vec![1.0],
+        };
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!(
+            (s.x[0] - 1.0).abs() < 1e-12,
+            "tie must resolve to a clean bound flip, got x = {:.17}",
+            s.x[0]
+        );
+        assert_eq!(s.iterations, 1, "one flip, no pivots");
+    }
+
+    #[test]
     fn expired_deadline_returns_time_limit_not_partial_answer() {
         // The deadline is checked inside the pivot loop: with an already
         // expired deadline the solver must give up with TimeLimit and NaN
@@ -1375,9 +1473,9 @@ mod tests {
 
     #[test]
     fn long_pivot_chains_survive_refactorization() {
-        // A staircase LP needing well over REFACTOR_EVERY pivots so the
-        // eta file is rebuilt mid-solve: min Σ x_i subject to
-        // x_0 >= 1 and x_i − x_{i−1} >= 1.
+        // A staircase LP needing enough pivots that the LU factors are
+        // Forrest–Tomlin-updated past the freshness cadence and rebuilt
+        // mid-solve: min Σ x_i subject to x_0 >= 1, x_i − x_{i−1} >= 1.
         let n = 160;
         let mut rows = vec![row(&[(0, 1.0)], ConstraintOp::Geq, 1.0)];
         for i in 1..n {

@@ -34,6 +34,17 @@ pub struct SolveStats {
     pub limit_nodes: usize,
     /// Total simplex pivots across all LP relaxations.
     pub lp_iterations: usize,
+    /// Full basis refactorizations (Markowitz sparse LU rebuilds)
+    /// performed by the persistent simplex engine across all nodes.
+    pub refactorizations: usize,
+    /// Forrest–Tomlin basis updates applied in place (the cheap per-pivot
+    /// path; see [`refactorizations`](Self::refactorizations) for the
+    /// expensive one).
+    pub ft_updates: usize,
+    /// Forrest–Tomlin updates rejected by the stability test (each
+    /// forces a refactorization; a high count signals an
+    /// ill-conditioned relaxation).
+    pub rejected_updates: usize,
     /// Wall-clock time of the solve.
     pub elapsed: Duration,
     /// Best proven bound on the optimum (in the model's sense); equals the

@@ -25,7 +25,8 @@
 //! additionally checked feasible against rows and bounds.
 
 use fpva_ilp::dense;
-use fpva_ilp::simplex::{self, LpProblem, LpRow, LpStatus};
+use fpva_ilp::fixtures;
+use fpva_ilp::simplex::{self, LpProblem, LpRow, LpStatus, SparseLp};
 use fpva_ilp::ConstraintOp;
 use proptest::prelude::*;
 
@@ -204,5 +205,163 @@ proptest! {
         let s = simplex::solve(&p);
         prop_assert_eq!(d.status, LpStatus::Unbounded, "oracle: {:?}", d.status);
         prop_assert_eq!(s.status, LpStatus::Unbounded, "revised simplex: {:?}", s.status);
+    }
+}
+
+/// Deterministic long warm-start chain: one persistent engine re-solves
+/// the same LP under a cycling schedule of bound tightenings, each step
+/// checked against a fresh dense-oracle solve of the identical problem.
+/// The chain pushes hundreds of Forrest–Tomlin updates through the
+/// engine's basis with only the occasional freshness refactorization —
+/// exactly the branch-and-bound access pattern the LU factors exist for.
+#[test]
+fn long_warm_start_chain_tracks_dense_oracle() {
+    // The shared multi-knapsack chain workload (`fpva_ilp::fixtures`):
+    // binding capacity rows force real pivots on every re-solve, and the
+    // schedule keeps each step feasible, so every step is Optimal. The
+    // `fpva-bench` LU bench times this exact construction.
+    let p = fixtures::multi_knapsack_lp();
+    let prepared = SparseLp::from_problem(&p);
+    let mut engine = prepared.engine();
+    let mut basis = None;
+    let mut agreements = 0usize;
+    for step in 0..400 {
+        let (lower, upper) = fixtures::chain_bounds(step);
+        let (sol, next_basis) = engine.solve(&lower, &upper, None, basis.as_ref());
+        let oracle = dense::solve(&LpProblem {
+            objective: p.objective.clone(),
+            rows: p.rows.clone(),
+            lower,
+            upper,
+        });
+        assert_eq!(
+            sol.status, oracle.status,
+            "step {step}: engine {:?} vs oracle {:?}",
+            sol.status, oracle.status
+        );
+        if sol.status == LpStatus::Optimal {
+            assert!(
+                (sol.objective - oracle.objective).abs() <= OBJ_TOL,
+                "step {step}: engine {} vs oracle {}",
+                sol.objective,
+                oracle.objective
+            );
+            agreements += 1;
+        }
+        if let Some(nb) = next_basis {
+            basis = Some(nb);
+        }
+    }
+    assert!(agreements >= 350, "only {agreements} optimal steps");
+    let stats = engine.factor_stats();
+    assert!(
+        stats.ft_updates >= 250,
+        "chain exercised only {} Forrest–Tomlin updates",
+        stats.ft_updates
+    );
+    assert!(
+        stats.ft_updates >= 10 * stats.refactorizations.max(1),
+        "updates ({}) should dwarf refactorizations ({})",
+        stats.ft_updates,
+        stats.refactorizations
+    );
+}
+
+/// A basis driven towards numerical singularity: two near-parallel rows
+/// make the optimal basis ill-conditioned, so Forrest–Tomlin updates
+/// and/or the refactorization stability threshold must engage without
+/// corrupting the reported optimum.
+#[test]
+fn near_singular_basis_recovers() {
+    for eps_pow in [6, 8, 10] {
+        let eps = 10f64.powi(-eps_pow);
+        // min x + y subject to x + y >= 2, x + (1+eps)y >= 2, x − y <= 0,
+        // all within [0, 4]: the first two rows are nearly dependent and
+        // meet the third at a sliver vertex.
+        let p = LpProblem {
+            objective: vec![1.0, 1.0],
+            rows: vec![
+                LpRow {
+                    coeffs: vec![(0, 1.0), (1, 1.0)],
+                    op: ConstraintOp::Geq,
+                    rhs: 2.0,
+                },
+                LpRow {
+                    coeffs: vec![(0, 1.0), (1, 1.0 + eps)],
+                    op: ConstraintOp::Geq,
+                    rhs: 2.0,
+                },
+                LpRow {
+                    coeffs: vec![(0, 1.0), (1, -1.0)],
+                    op: ConstraintOp::Leq,
+                    rhs: 0.0,
+                },
+            ],
+            lower: vec![0.0, 0.0],
+            upper: vec![4.0, 4.0],
+        };
+        let s = simplex::solve(&p);
+        let d = dense::solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal, "eps=1e-{eps_pow}");
+        assert_eq!(d.status, LpStatus::Optimal, "oracle, eps=1e-{eps_pow}");
+        assert!(
+            (s.objective - d.objective).abs() <= 1e-5,
+            "eps=1e-{eps_pow}: engine {} vs oracle {}",
+            s.objective,
+            d.objective
+        );
+    }
+
+    // The same ill-conditioning under warm starts: re-solving with
+    // progressively tighter bounds walks the engine through the
+    // near-singular bases repeatedly; every resolve must stay exact.
+    let eps = 1e-9;
+    let p = LpProblem {
+        objective: vec![1.0, 1.0, 0.5],
+        rows: vec![
+            LpRow {
+                coeffs: vec![(0, 1.0), (1, 1.0), (2, 1.0)],
+                op: ConstraintOp::Geq,
+                rhs: 3.0,
+            },
+            LpRow {
+                coeffs: vec![(0, 1.0), (1, 1.0 + eps), (2, 1.0)],
+                op: ConstraintOp::Geq,
+                rhs: 3.0,
+            },
+            LpRow {
+                coeffs: vec![(0, 1.0), (1, -1.0)],
+                op: ConstraintOp::Leq,
+                rhs: 0.0,
+            },
+        ],
+        lower: vec![0.0; 3],
+        upper: vec![5.0; 3],
+    };
+    let prepared = SparseLp::from_problem(&p);
+    let mut engine = prepared.engine();
+    let mut basis = None;
+    for step in 0..40 {
+        let hi = 5.0 - 0.1 * (step % 20) as f64;
+        let upper = vec![5.0, hi, 5.0];
+        let (sol, nb) = engine.solve(&p.lower, &upper, None, basis.as_ref());
+        let oracle = dense::solve(&LpProblem {
+            objective: p.objective.clone(),
+            rows: p.rows.clone(),
+            lower: p.lower.clone(),
+            upper,
+        });
+        assert_eq!(sol.status, oracle.status, "step {step}");
+        if sol.status == LpStatus::Optimal {
+            assert!(
+                (sol.objective - oracle.objective).abs() <= 1e-5,
+                "step {step}: engine {} vs oracle {}",
+                sol.objective,
+                oracle.objective
+            );
+        }
+        if let Some(nb) = nb {
+            basis = Some(nb);
+        }
     }
 }

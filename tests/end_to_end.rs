@@ -185,3 +185,52 @@ fn proposed_is_an_order_of_magnitude_below_baseline() {
         );
     }
 }
+
+#[test]
+#[ignore = "release-only exact-ILP probe; run with `cargo test --release -- --ignored`"]
+fn channelled_5x5_k2_infeasibility_proof_fits_the_probe_budget() {
+    // The tentpole claim of the sparse-LU basis (PR 5): on the channelled
+    // Table I 5×5, the first exact-ILP feasibility probe (k = 2, the
+    // paper's lower bound) is *proven infeasible* inside the default 20s
+    // budget instead of burning it — the product-form eta engine of PR 4
+    // limited out on every one of its 7 probes. Capping `max_paths` at 2
+    // isolates exactly that probe: the result must be a definite "no
+    // cover with ≤ 2 paths", with zero limit hits.
+    use fpva::atpg::ilp_model::{min_path_cover_ilp_with_stats, PathIlpConfig};
+    let f = layouts::table1_5x5();
+    let config = PathIlpConfig {
+        max_paths: 2,
+        ..PathIlpConfig::default()
+    };
+    let (res, stats) = min_path_cover_ilp_with_stats(&f, &config);
+    assert!(res.is_err(), "no 2-path cover exists on the channelled 5x5");
+    assert_eq!(stats.probes, 1, "exactly the k=2 probe runs");
+    assert_eq!(
+        stats.limit_probes, 0,
+        "the k=2 infeasibility must be proven, not budget-limited"
+    );
+    assert_eq!(
+        stats.limit_nodes, 0,
+        "no node may be pruned unproven in an infeasibility proof"
+    );
+    assert!(
+        stats.ft_updates > 0 && stats.refactorizations > 0,
+        "the proof must have exercised the LU basis (ft={}, refacts={})",
+        stats.ft_updates,
+        stats.refactorizations
+    );
+}
+
+#[test]
+#[ignore = "release-only exact-ILP probe; run with `cargo test --release -- --ignored`"]
+fn unchannelled_5x5_exact_cover_still_solves_in_budget() {
+    // PR 4's un-channelled milestone must not regress under the LU
+    // engine: the 5×5 exact cover solves with zero limit hits (measured
+    // ~0.6s against PR 4's ~10s; the 20s probe budget is the guard).
+    use fpva::atpg::ilp_model::{min_path_cover_ilp_with_stats, PathIlpConfig};
+    let f = layouts::full_array(5, 5);
+    let (res, stats) = min_path_cover_ilp_with_stats(&f, &PathIlpConfig::default());
+    let cover = res.expect("5x5 exact cover solves inside the probe budget");
+    assert_eq!(cover.paths.len(), 2, "two serpentine-like paths suffice");
+    assert_eq!(stats.limit_probes, 0);
+}
