@@ -330,6 +330,62 @@ pub struct IlpCoverStats {
     pub ft_updates: usize,
     /// Forrest–Tomlin updates rejected by the stability test.
     pub rejected_updates: usize,
+    /// Constraints eliminated by static presolve across all probes.
+    pub presolve_rows: usize,
+    /// Variables eliminated by static presolve across all probes.
+    pub presolve_cols: usize,
+    /// Bounds tightened by static presolve across all probes.
+    pub presolve_tightenings: usize,
+    /// Integer bounds tightened by per-node propagation across all probes.
+    pub node_tightenings: usize,
+    /// Nodes pruned by propagation alone (no LP solved) across all probes.
+    pub propagation_prunes: usize,
+}
+
+/// Builds the paper's "cover all valves with exactly `k` paths" model
+/// without solving it — the entry point static analyses (`fpva-lint`,
+/// presolve diagnostics) use to audit generated models.
+pub fn cover_model(fpva: &Fpva, k: usize) -> Model {
+    build_model(fpva, k).0
+}
+
+/// The constraint count [`cover_model`] is expected to produce for
+/// `fpva` with `k` paths, derived structurally from the chip: per path,
+/// two rows per passable edge (flow gating), two rows per non-obstacle
+/// cell (degree + balance), one row per source port (injection gating),
+/// two port-opening rows, and one contiguity row per multi-cell open
+/// component; globally, one cover row per valve and `k − 1` symmetry
+/// rows. `fpva-lint` checks the generated model against this formula —
+/// a mismatch means model generation and chip structure disagree.
+pub fn expected_constraint_count(fpva: &Fpva, k: usize) -> usize {
+    let cells = fpva
+        .cells()
+        .filter(|&c| fpva.cell_kind(c) != CellKind::Obstacle)
+        .count();
+    let edges = fpva
+        .edges()
+        .filter(|&(_, kind)| kind != EdgeKind::Wall)
+        .count();
+    let sources = fpva.sources().count();
+    let components = crate::connectivity::open_components(fpva);
+    let mut comp_sizes: BTreeMap<usize, usize> = BTreeMap::new();
+    for cell in fpva.cells() {
+        if fpva.cell_kind(cell) != CellKind::Obstacle {
+            *comp_sizes
+                .entry(components[fpva.cell_index(cell)])
+                .or_insert(0) += 1;
+        }
+    }
+    let multi_cell = comp_sizes.values().filter(|&&s| s >= 2).count();
+    k * (2 * cells + 2 * edges + 2 + sources + multi_cell) + fpva.valve_count() + (k - 1)
+}
+
+/// Lower bound on the number of paths any exact valve cover needs: a
+/// simple path visits at most `cell_count + 1` valve sites. The probe
+/// loop starts here, and `fpva-lint` audits the model at this `k` (any
+/// smaller `k` is provably infeasible — presolve certifies it).
+pub fn min_cover_paths(fpva: &Fpva) -> usize {
+    fpva.valve_count().div_ceil(fpva.cell_count() + 1).max(1)
 }
 
 /// Probes increasing path counts `k = lb, lb+1, …` and returns the first
@@ -364,8 +420,7 @@ pub fn min_path_cover_ilp_with_stats(
             stats,
         );
     }
-    // Lower bound: a simple path crosses at most cell_count+1 sites.
-    let lb = fpva.valve_count().div_ceil(fpva.cell_count() + 1).max(1);
+    let lb = min_cover_paths(fpva);
     let mut limited = false;
     for k in lb..=config.max_paths {
         let (model, vars) = build_model(fpva, k);
@@ -393,6 +448,11 @@ pub fn min_path_cover_ilp_with_stats(
         stats.refactorizations += outcome.stats.refactorizations;
         stats.ft_updates += outcome.stats.ft_updates;
         stats.rejected_updates += outcome.stats.rejected_updates;
+        stats.presolve_rows += outcome.stats.presolve_rows;
+        stats.presolve_cols += outcome.stats.presolve_cols;
+        stats.presolve_tightenings += outcome.stats.presolve_tightenings;
+        stats.node_tightenings += outcome.stats.node_tightenings;
+        stats.propagation_prunes += outcome.stats.propagation_prunes;
         match outcome.status {
             SolveStatus::Optimal | SolveStatus::Feasible => {
                 let sol = outcome.best.expect("feasible outcome has incumbent");
@@ -490,6 +550,22 @@ mod tests {
         let cover = min_path_cover_ilp(&f, &PathIlpConfig::default()).unwrap();
         assert_eq!(cover.paths.len(), 1);
         assert_exact_cover(&f, &cover);
+    }
+
+    #[test]
+    fn expected_constraint_count_matches_generated_models() {
+        for (fpva, k) in [
+            (layouts::full_array(3, 3), 1),
+            (layouts::full_array(4, 4), 2),
+            (layouts::table1_5x5(), 2),
+        ] {
+            let model = cover_model(&fpva, k);
+            assert_eq!(
+                model.constraint_count(),
+                expected_constraint_count(&fpva, k),
+                "structural formula out of sync for k={k}"
+            );
+        }
     }
 
     #[test]

@@ -74,13 +74,16 @@ fn main() {
 
     println!("\n== Ablation 1b: exact-ILP subblock scaling (default limits) ==");
     println!(
-        "{:<10} | {:>5} | {:>8} | {:>6} | {:>12} | {:>11} | {:>8} | {:>9} | {:>8}",
+        "{:<10} | {:>5} | {:>8} | {:>6} | {:>12} | {:>11} | {:>5} | {:>8} | {:>8} | {:>8} | {:>9} | {:>8}",
         "block",
         "paths",
         "seconds",
         "probes",
         "limit-probes",
         "limit-nodes",
+        "nodes",
+        "pre-rows",
+        "pre-cols",
         "refacts",
         "ft-updts",
         "rejected"
@@ -98,13 +101,16 @@ fn main() {
             Err(_) => "none".into(),
         };
         println!(
-            "{:<10} | {:>5} | {:>7.2}s | {:>6} | {:>12} | {:>11} | {:>8} | {:>9} | {:>8}",
+            "{:<10} | {:>5} | {:>7.2}s | {:>6} | {:>12} | {:>11} | {:>5} | {:>8} | {:>8} | {:>8} | {:>9} | {:>8}",
             name,
             paths,
             t0.elapsed().as_secs_f64(),
             stats.probes,
             stats.limit_probes,
             stats.limit_nodes,
+            stats.nodes,
+            stats.presolve_rows,
+            stats.presolve_cols,
             stats.refactorizations,
             stats.ft_updates,
             stats.rejected_updates

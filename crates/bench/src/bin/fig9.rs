@@ -32,12 +32,12 @@ fn main() {
                     .generate(&f)
                     .expect("benchmark layout is valid")
             })
-            .min_by_key(|plan| plan.vector_count())
+            .min_by_key(fpva_atpg::TestPlan::vector_count)
             .expect("chunk is non-empty")
     });
     let plan = per_chunk
         .into_iter()
-        .min_by_key(|plan| plan.vector_count())
+        .min_by_key(fpva_atpg::TestPlan::vector_count)
         .expect("at least one trial");
     println!(
         "Fig. 9 — 20x20 array with channels and obstacles: {} flow paths cover all {} valves (paper: 16; best of {} seed(s), {} worker(s))",

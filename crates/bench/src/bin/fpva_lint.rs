@@ -1,0 +1,65 @@
+//! `fpva-lint`: static diagnostics over every benchmark and example chip.
+//!
+//! Audits the five Table I layouts plus the chips the `examples/` binaries
+//! build, both at the chip level (connectivity, dead valves, untestable
+//! stuck-at-1 sets, unobservable leaks) and at the cover-model level
+//! (constraint-count sanity, coefficient numerics, certified presolve
+//! feasibility). Prints one diagnostics table and exits nonzero when any
+//! finding has `Error` severity, so CI can gate on it.
+//!
+//! Run with `cargo run --release -p fpva-bench --bin fpva-lint`.
+
+use fpva_bench::lint::{self, Severity};
+use fpva_grid::layouts;
+
+fn main() {
+    let mut chips: Vec<(String, fpva_grid::Fpva)> = layouts::table1()
+        .into_iter()
+        .map(|e| (format!("table1_{}", e.name), e.fpva))
+        .collect();
+    chips.extend(
+        lint::example_chips()
+            .into_iter()
+            .map(|(n, f)| (n.to_string(), f)),
+    );
+
+    println!(
+        "{:<16} {:<8} {:<18} message",
+        "subject", "severity", "check"
+    );
+    let mut counts = [0usize; 3];
+    let mut worst: Option<Severity> = None;
+    for (name, fpva) in &chips {
+        let mut diags = lint::lint_chip(name, fpva);
+        // Audit the model at the probe loop's starting k — any smaller k is
+        // provably infeasible (a path covers at most cell_count+1 valves).
+        let k = fpva_atpg::ilp_model::min_cover_paths(fpva);
+        diags.extend(lint::lint_model(name, fpva, k));
+        if diags.is_empty() {
+            println!("{name:<16} {:<8} {:<18} clean", "ok", "-");
+            continue;
+        }
+        for d in &diags {
+            println!(
+                "{:<16} {:<8} {:<18} {}",
+                d.subject,
+                d.severity.to_string(),
+                d.check,
+                d.message
+            );
+            counts[d.severity as usize] += 1;
+            worst = worst.max(Some(d.severity));
+        }
+    }
+    println!(
+        "\n{} chip(s) audited: {} error(s), {} warning(s), {} info",
+        chips.len(),
+        counts[Severity::Error as usize],
+        counts[Severity::Warning as usize],
+        counts[Severity::Info as usize]
+    );
+    if worst == Some(Severity::Error) {
+        eprintln!("fpva-lint: errors found");
+        std::process::exit(1);
+    }
+}

@@ -5,7 +5,10 @@ use fpva_atpg::{Atpg, TestPlan};
 use fpva_grid::layouts::Table1Entry;
 use fpva_grid::Fpva;
 
+pub mod lint;
+
 /// A generated plan next to its Table I reference row.
+#[derive(Debug)]
 pub struct PlannedEntry {
     /// The benchmark instance with the paper's reported numbers.
     pub entry: Table1Entry,
@@ -161,7 +164,8 @@ mod tests {
 
     #[test]
     fn cli_args_accept_flags_and_positional_trials() {
-        let args = |list: &[&str]| CliArgs::parse_from(list.iter().map(|s| s.to_string()));
+        let args =
+            |list: &[&str]| CliArgs::parse_from(list.iter().map(std::string::ToString::to_string));
         assert_eq!(
             args(&["--trials", "500", "--threads", "4"]),
             Ok(CliArgs {
@@ -188,7 +192,8 @@ mod tests {
 
     #[test]
     fn cli_args_reject_typos_instead_of_guessing() {
-        let args = |list: &[&str]| CliArgs::parse_from(list.iter().map(|s| s.to_string()));
+        let args =
+            |list: &[&str]| CliArgs::parse_from(list.iter().map(std::string::ToString::to_string));
         assert!(args(&["--threads", "bogus"]).is_err());
         assert!(args(&["--threads"]).is_err());
         assert!(args(&["--seed", "5"]).is_err());

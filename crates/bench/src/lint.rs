@@ -1,0 +1,364 @@
+//! Static analysis of chips and their ILP cover models (`fpva-lint`).
+//!
+//! The checks mirror the failure modes the rest of the workspace can only
+//! discover dynamically (by running ATPG or the MILP solver): valves that no
+//! source→sink flow path can exercise, sinks that are unreachable even with
+//! every valve open, valves without a closable cut (untestable stuck-at-1),
+//! control-leak pairs with zero pressure observability, and cover models
+//! whose constraint count deviates from the closed-form formula or whose
+//! coefficients look numerically hostile. Everything here is static: no LP
+//! is factorized and no simulation is run — the most expensive ingredient
+//! is a breadth-first search or a presolve pass.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use fpva_atpg::{connectivity, cutset, ilp_model};
+use fpva_grid::layouts;
+use fpva_grid::{CellKind, EdgeId, Fpva};
+use fpva_ilp::{numerics_report, presolve, PresolveOutcome};
+use fpva_sim::ObservableLeaks;
+
+/// How bad a [`Diagnostic`] is. Ordered: `Info < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Expected, informational output (e.g. presolve reduction summary).
+    Info,
+    /// Suspicious but not fatal: the chip works, with blind spots.
+    Warning,
+    /// The chip or model is broken; `fpva-lint` exits nonzero.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding of a lint pass over a chip or a cover model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How bad the finding is.
+    pub severity: Severity,
+    /// The chip or model the finding is about (e.g. `"table1_5x5"`).
+    pub subject: String,
+    /// Short machine-readable check name (e.g. `"cut-cover"`).
+    pub check: &'static str,
+    /// Human-readable description, with coordinates where applicable.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} [{}]: {}",
+            self.severity, self.subject, self.check, self.message
+        )
+    }
+}
+
+/// The worst severity in `diags`, or `None` when the slice is empty.
+pub fn max_severity(diags: &[Diagnostic]) -> Option<Severity> {
+    diags.iter().map(|d| d.severity).max()
+}
+
+/// Formats up to six edges as `(r,c)-(r,c)` coordinates, eliding the rest.
+fn edge_list(edges: &[EdgeId]) -> String {
+    const CAP: usize = 6;
+    let mut parts: Vec<String> = edges
+        .iter()
+        .take(CAP)
+        .map(std::string::ToString::to_string)
+        .collect();
+    if edges.len() > CAP {
+        parts.push(format!("… {} more", edges.len() - CAP));
+    }
+    parts.join(", ")
+}
+
+/// Statically audits one chip.
+///
+/// Checks, in order: port presence, all-open sink reachability, stranded
+/// flow cells, valves on no source→sink flow path, valves with no closable
+/// cut (the `untestable_closed` set of a generated plan), and control-leak
+/// pairs with zero observability.
+pub fn lint_chip(name: &str, fpva: &Fpva) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut push = |severity, check, message: String| {
+        out.push(Diagnostic {
+            severity,
+            subject: name.to_string(),
+            check,
+            message,
+        });
+    };
+
+    let sources = connectivity::source_cells(fpva);
+    let sinks = connectivity::sink_cells(fpva);
+    if sources.is_empty() {
+        push(
+            Severity::Error,
+            "ports",
+            "chip has no pressure source port".into(),
+        );
+    }
+    if sinks.is_empty() {
+        push(
+            Severity::Error,
+            "ports",
+            "chip has no pressure meter (sink) port".into(),
+        );
+    }
+    if sources.is_empty() || sinks.is_empty() {
+        return out;
+    }
+
+    // All-open reachability: the weakest possible requirement — if a sink
+    // cannot see a source with every valve open, no test vector ever will.
+    let open = HashSet::new();
+    let from_src = connectivity::reachable_from(fpva, &sources, &open);
+    let from_snk = connectivity::reachable_from(fpva, &sinks, &open);
+    for (id, port) in fpva.sinks() {
+        if !from_src[fpva.cell_index(port.cell)] {
+            push(
+                Severity::Error,
+                "connectivity",
+                format!(
+                    "sink {id} at {} is unreachable from every source even with all valves open",
+                    port.cell
+                ),
+            );
+        }
+    }
+    let stranded: Vec<_> = fpva
+        .cells()
+        .filter(|&c| fpva.cell_kind(c) != CellKind::Obstacle && !from_src[fpva.cell_index(c)])
+        .collect();
+    if !stranded.is_empty() {
+        push(
+            Severity::Warning,
+            "connectivity",
+            format!(
+                "{} flow cell(s) unreachable from any source, first {}",
+                stranded.len(),
+                stranded[0]
+            ),
+        );
+    }
+
+    // A valve both of whose endpoints are source- and sink-reachable can sit
+    // on some source→sink walk; anything else is dead weight for flow tests.
+    let dead: Vec<EdgeId> = fpva
+        .valves()
+        .filter(|&(_, e)| {
+            let (a, b) = e.endpoints();
+            ![a, b].into_iter().all(|c| {
+                let ix = fpva.cell_index(c);
+                from_src[ix] && from_snk[ix]
+            })
+        })
+        .map(|(_, e)| e)
+        .collect();
+    if !dead.is_empty() {
+        push(
+            Severity::Warning,
+            "flow-paths",
+            format!(
+                "{} valve(s) lie on no source→sink flow path: {}",
+                dead.len(),
+                edge_list(&dead)
+            ),
+        );
+    }
+
+    // Valves no source/sink cut can close: the plan generator would report
+    // exactly these as `untestable_closed` (stuck-at-1 escapes).
+    match cutset::cut_cover(fpva) {
+        Ok(cover) if !cover.uncovered.is_empty() => {
+            let edges: Vec<EdgeId> = cover.uncovered.iter().map(|&v| fpva.edge_of(v)).collect();
+            push(
+                Severity::Warning,
+                "cut-cover",
+                format!(
+                    "{} valve(s) have no closable source/sink cut (untestable stuck-at-1): {}",
+                    edges.len(),
+                    edge_list(&edges)
+                ),
+            );
+        }
+        Ok(_) => {}
+        Err(e) => push(
+            Severity::Error,
+            "cut-cover",
+            format!("cut-set construction failed: {e}"),
+        ),
+    }
+
+    // Control leaks the pressure meters can never observe.
+    let pairs = ObservableLeaks::build(fpva).unobservable_pairs(fpva);
+    if !pairs.is_empty() {
+        push(
+            Severity::Info,
+            "leak-observability",
+            format!(
+                "{} adjacent valve pair(s) have control leaks with zero pressure observability",
+                pairs.len()
+            ),
+        );
+    }
+
+    out
+}
+
+/// Statically audits the `k`-path ILP cover model of one chip.
+///
+/// Checks the generated constraint count against the closed-form formula,
+/// flags numerically hostile coefficients, and runs presolve — both as a
+/// reduction summary and as a certified feasibility screen (a presolve
+/// `Infeasible`/`Unbounded` verdict on a cover model is always a chip bug).
+pub fn lint_model(name: &str, fpva: &Fpva, k: usize) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut push = |severity, check, message: String| {
+        out.push(Diagnostic {
+            severity,
+            subject: name.to_string(),
+            check,
+            message,
+        });
+    };
+
+    let model = ilp_model::cover_model(fpva, k);
+    let expected = ilp_model::expected_constraint_count(fpva, k);
+    if model.constraint_count() != expected {
+        push(
+            Severity::Error,
+            "model-shape",
+            format!(
+                "k={k} cover model has {} constraints, closed-form count predicts {expected}",
+                model.constraint_count()
+            ),
+        );
+    }
+
+    let rep = numerics_report(&model);
+    if rep.tiny_coeffs > 0 || rep.huge_coeffs > 0 {
+        push(
+            Severity::Warning,
+            "numerics",
+            format!(
+                "{} coefficient(s) below 1e-7 and {} above 1e7 (range [{:.3e}, {:.3e}])",
+                rep.tiny_coeffs, rep.huge_coeffs, rep.min_abs_coeff, rep.max_abs_coeff
+            ),
+        );
+    }
+
+    let pre = presolve(&model);
+    match pre.outcome {
+        PresolveOutcome::Infeasible { reason } => push(
+            Severity::Error,
+            "presolve",
+            format!("k={k} cover model certified infeasible without factorizing: {reason}"),
+        ),
+        PresolveOutcome::Unbounded => push(
+            Severity::Error,
+            "presolve",
+            format!("k={k} cover model certified unbounded"),
+        ),
+        PresolveOutcome::Reduced(_) | PresolveOutcome::Solved(_) => push(
+            Severity::Info,
+            "presolve",
+            format!(
+                "k={k}: presolve removed {} of {} rows and {} of {} cols in {} pass(es)",
+                pre.stats.rows_removed,
+                model.constraint_count(),
+                pre.stats.cols_removed,
+                model.var_count(),
+                pre.stats.passes
+            ),
+        ),
+    }
+
+    out
+}
+
+/// The chips exercised by the `examples/` binaries that are not already
+/// Table I instances, with stable lint subject names.
+pub fn example_chips() -> Vec<(&'static str, Fpva)> {
+    vec![
+        ("custom_biochip", layouts::custom_biochip()),
+        ("full_3x3", layouts::full_array(3, 3)),
+        ("full_10x10", layouts::full_array(10, 10)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_chips_lint_without_errors() {
+        for entry in layouts::table1() {
+            let diags = lint_chip(entry.name, &entry.fpva);
+            assert!(
+                max_severity(&diags) < Some(Severity::Error),
+                "{}: unexpected lint error: {diags:?}",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn custom_biochip_untestable_closed_flagged_with_coordinates() {
+        let f = layouts::custom_biochip();
+        let diags = lint_chip("custom_biochip", &f);
+        let cut = diags
+            .iter()
+            .find(|d| d.check == "cut-cover")
+            .expect("custom_biochip must trigger the cut-cover lint");
+        assert_eq!(cut.severity, Severity::Warning);
+        // The diagnostic must carry valve coordinates in `(r,c)-(r,c)` form.
+        let uncovered = cutset::cut_cover(&f).unwrap().uncovered;
+        assert!(!uncovered.is_empty());
+        let first = f.edge_of(uncovered[0]).to_string();
+        assert!(
+            cut.message.contains(&first),
+            "message {:?} lacks coordinate {first}",
+            cut.message
+        );
+    }
+
+    #[test]
+    fn model_lint_is_clean_on_5x5() {
+        let diags = lint_model("table1_5x5", &layouts::table1_5x5(), 2);
+        assert!(
+            max_severity(&diags) < Some(Severity::Error),
+            "unexpected model lint error: {diags:?}"
+        );
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.check == "presolve" && d.severity == Severity::Info),
+            "presolve summary missing: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn chip_without_ports_is_an_error() {
+        let f = fpva_grid::FpvaBuilder::new(3, 3).build().unwrap();
+        let diags = lint_chip("portless", &f);
+        assert_eq!(max_severity(&diags), Some(Severity::Error));
+    }
+
+    #[test]
+    fn severity_orders_and_prints() {
+        assert!(Severity::Info < Severity::Warning && Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Warning.to_string(), "warning");
+        assert_eq!(max_severity(&[]), None);
+    }
+}

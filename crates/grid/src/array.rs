@@ -210,11 +210,7 @@ impl Fpva {
 
     /// Iterates over every internal edge with its kind.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, EdgeKind)> + '_ {
-        let ix = self.indexer();
-        self.edge_kinds
-            .iter()
-            .enumerate()
-            .map(move |(i, &k)| (ix.edge(i), k))
+        self.indexer().iter().zip(self.edge_kinds.iter().copied())
     }
 
     /// Iterates over every cell id, row-major.

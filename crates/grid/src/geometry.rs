@@ -228,7 +228,8 @@ impl EdgeIndexer {
         }
     }
 
-    #[allow(dead_code)] // handy for tests and future callers
+    /// All edge ids in index order — the canonical edge enumeration
+    /// behind `Fpva::edges`.
     pub fn iter(self) -> impl Iterator<Item = EdgeId> {
         (0..self.count()).map(move |i| self.edge(i))
     }

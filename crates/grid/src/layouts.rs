@@ -114,6 +114,28 @@ pub fn table1_30x30() -> Fpva {
     .expect("30x30 layout is valid")
 }
 
+/// The `examples/custom_biochip` chip: a 12×12 array with two transport
+/// channels feeding a work area, a 2×2 sensor obstacle, one pressure
+/// source and two meters on different edges — the "incomplete array with
+/// fluidic-seas and obstacles" case the paper's method targets.
+///
+/// The second sink at the bottom-left corner is a known stress case:
+/// every source→sinks cut detours around the horizontal channel, which
+/// strands the valves straddled by the detour in `untestable_closed`.
+/// `fpva-lint` flags exactly those valves, so the layout doubles as the
+/// lint regression fixture (single source of truth with the example).
+pub fn custom_biochip() -> Fpva {
+    FpvaBuilder::new(12, 12)
+        .channel_horizontal(2, 1, 6)
+        .channel_vertical(9, 4, 8)
+        .obstacle(6, 3, 7, 4)
+        .port(0, 0, Side::West, PortKind::Source)
+        .port(11, 11, Side::East, PortKind::Sink)
+        .port(11, 0, Side::South, PortKind::Sink)
+        .build()
+        .expect("custom biochip layout is valid")
+}
+
 /// All five Table I instances, smallest first, with the paper's reported
 /// vector counts attached.
 pub fn table1() -> Vec<Table1Entry> {

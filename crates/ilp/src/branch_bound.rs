@@ -2,6 +2,7 @@
 
 use crate::error::IlpError;
 use crate::model::{Model, Sense, VarKind};
+use crate::presolve::{self, Postsolve, PresolveOutcome, PresolveStats, Propagator};
 use crate::simplex::{Basis, LpStatus};
 use crate::solution::{MilpOutcome, Solution, SolveStats, SolveStatus};
 use std::rc::Rc;
@@ -27,6 +28,12 @@ pub struct MilpOptions {
     /// feasibility models); the outcome status is then
     /// [`SolveStatus::Feasible`] unless the tree was exhausted anyway.
     pub stop_at_first: bool,
+    /// Run the static [`crate::presolve()`] pass before branch-and-bound
+    /// (default `true`): the root model is reduced once, integer bounds
+    /// are re-propagated at every node, and reported solutions are
+    /// mapped back through the postsolve record. Disable to solve the
+    /// model exactly as written (used by differential harnesses).
+    pub presolve: bool,
 }
 
 impl Default for MilpOptions {
@@ -37,6 +44,7 @@ impl Default for MilpOptions {
             integer_tol: 1e-6,
             initial_incumbent: None,
             stop_at_first: false,
+            presolve: true,
         }
     }
 }
@@ -81,6 +89,13 @@ impl MilpSolver {
         self
     }
 
+    /// Enables or disables the static presolve pass (on by default).
+    #[must_use]
+    pub fn presolve(mut self, enabled: bool) -> Self {
+        self.options.presolve = enabled;
+        self
+    }
+
     /// Solves the model.
     ///
     /// Infeasibility/unboundedness are reported through
@@ -93,14 +108,73 @@ impl MilpSolver {
     pub fn solve(&self, model: &Model) -> Result<MilpOutcome, IlpError> {
         model.validate()?;
         let start = Instant::now();
-        // Hard wall-clock deadline, enforced down inside the simplex pivot
-        // loop — the per-node check alone cannot stop a long single LP.
-        let deadline = self.options.time_limit.map(|limit| start + limit);
-        let n = model.var_count();
+        if !self.options.presolve {
+            return Ok(self.branch_and_bound(model, model, None, PresolveStats::default(), start));
+        }
+        // Static presolve first: it may certify a terminal verdict (a
+        // proof by interval arithmetic — no LP ever runs), solve the
+        // model outright, or hand back a reduced model whose solutions
+        // are lifted through the postsolve record.
+        let pre = presolve::presolve(model);
+        let pstats = pre.stats;
         let sign = match model.sense() {
             Sense::Minimize => 1.0,
             Sense::Maximize => -1.0,
         };
+        let make_stats = |best_bound: f64| SolveStats {
+            presolve_rows: pstats.rows_removed,
+            presolve_cols: pstats.cols_removed,
+            presolve_tightenings: pstats.tightenings,
+            elapsed: start.elapsed(),
+            best_bound,
+            ..SolveStats::default()
+        };
+        match pre.outcome {
+            PresolveOutcome::Infeasible { .. } => Ok(MilpOutcome {
+                status: SolveStatus::Infeasible,
+                best: None,
+                stats: make_stats(sign * f64::NEG_INFINITY),
+            }),
+            PresolveOutcome::Unbounded => Ok(MilpOutcome {
+                status: SolveStatus::Unbounded,
+                best: None,
+                stats: make_stats(sign * f64::NEG_INFINITY),
+            }),
+            PresolveOutcome::Solved(values) => {
+                let objective = model.objective().eval(&values);
+                Ok(MilpOutcome {
+                    status: SolveStatus::Optimal,
+                    best: Some(Solution { objective, values }),
+                    stats: make_stats(objective),
+                })
+            }
+            PresolveOutcome::Reduced(reduced) => {
+                Ok(self.branch_and_bound(model, &reduced, Some(&pre.postsolve), pstats, start))
+            }
+        }
+    }
+
+    /// Depth-first search over `solve_model` — the presolve-reduced model
+    /// when presolve ran, the original model otherwise. Incumbents are
+    /// lifted back through `postsolve` and objectives are always reported
+    /// against `original`, so callers never observe the reduction.
+    fn branch_and_bound(
+        &self,
+        original: &Model,
+        solve_model: &Model,
+        postsolve: Option<&Postsolve>,
+        pstats: PresolveStats,
+        start: Instant,
+    ) -> MilpOutcome {
+        // Hard wall-clock deadline, enforced down inside the simplex pivot
+        // loop — the per-node check alone cannot stop a long single LP.
+        let deadline = self.options.time_limit.map(|limit| start + limit);
+        let n = solve_model.var_count();
+        let sign = match solve_model.sense() {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        let model = solve_model;
 
         // The constraint matrix is lowered to CSC exactly once; every
         // node then re-solves the same prepared LP under tightened bound
@@ -119,13 +193,25 @@ impl MilpSolver {
             .collect();
         let integral_objective = model.objective_is_integral();
         let tol = self.options.integer_tol;
+        // Per-node integer bound propagation only runs when presolve is
+        // on: it is the "reapply the bound-tightening reductions at every
+        // node" half of the presolve design.
+        let propagator = postsolve.is_some().then(|| Propagator::new(model));
 
-        let mut stats = SolveStats::default();
+        let mut stats = SolveStats {
+            presolve_rows: pstats.rows_removed,
+            presolve_cols: pstats.cols_removed,
+            presolve_tightenings: pstats.tightenings,
+            ..SolveStats::default()
+        };
         let mut incumbent: Option<(f64, Vec<f64>)> = None; // (min-form obj, values)
+                                                           // The user-facing incumbent value includes the objective constant
+                                                           // (which presolve grows by every fixed variable's contribution);
+                                                           // the search compares min-form objectives, so strip it here.
         let mut cutoff = self
             .options
             .initial_incumbent
-            .map_or(f64::INFINITY, |u| sign * u);
+            .map_or(f64::INFINITY, |u| sign * (u - obj_constant));
         let mut root_bound = f64::NEG_INFINITY;
         let mut hit_limit = false;
 
@@ -135,7 +221,7 @@ impl MilpSolver {
         // re-growing the basis from slacks at every node.
         type Node = (Vec<f64>, Vec<f64>, Option<Rc<Basis>>);
         let mut stack: Vec<Node> = vec![(base_lower, base_upper, None)];
-        while let Some((lower, upper, warm)) = stack.pop() {
+        while let Some((mut lower, mut upper, warm)) = stack.pop() {
             if let Some(limit) = self.options.node_limit {
                 if stats.nodes >= limit {
                     hit_limit = true;
@@ -150,6 +236,17 @@ impl MilpSolver {
                 if stats.nodes > 0 && start.elapsed() >= limit {
                     hit_limit = true;
                     break;
+                }
+            }
+            // Integer bound propagation: exact floor/ceil deductions, so
+            // a pruned node is pruned with certainty — no LP needed.
+            if let Some(prop) = &propagator {
+                match prop.propagate(&mut lower, &mut upper) {
+                    None => {
+                        stats.propagation_prunes += 1;
+                        continue;
+                    }
+                    Some(t) => stats.node_tightenings += t,
                 }
             }
             stats.nodes += 1;
@@ -167,11 +264,11 @@ impl MilpSolver {
                     stats.ft_updates = factor.ft_updates;
                     stats.rejected_updates = factor.rejected_updates;
                     stats.best_bound = f64::NEG_INFINITY * sign;
-                    return Ok(MilpOutcome {
+                    return MilpOutcome {
                         status: SolveStatus::Unbounded,
                         best: None,
                         stats,
-                    });
+                    };
                 }
                 LpStatus::IterationLimit | LpStatus::TimeLimit => {
                     // The node's relaxation was cut short: its subtree is
@@ -263,7 +360,14 @@ impl MilpSolver {
             (None, false) => SolveStatus::Unknown,
         };
         let best = incumbent.map(|(_, values)| {
-            let objective = model.objective().eval(&values);
+            // Lift the reduced-space incumbent back to the original
+            // variables; the objective is always evaluated through the
+            // original model so presolve never changes reported values.
+            let values = match postsolve {
+                Some(p) => p.restore(&values),
+                None => values,
+            };
+            let objective = original.objective().eval(&values);
             Solution { objective, values }
         });
         stats.best_bound = if status == SolveStatus::Optimal {
@@ -271,11 +375,11 @@ impl MilpSolver {
         } else {
             sign * root_bound + obj_constant
         };
-        Ok(MilpOutcome {
+        MilpOutcome {
             status,
             best,
             stats,
-        })
+        }
     }
 }
 
@@ -531,8 +635,66 @@ mod tests {
         let x = m.binary_var("x");
         m.add_geq(LinExpr::from(x), 1.0);
         m.set_objective(LinExpr::from(x));
+        // Presolve fixes x = 1 from the singleton row: zero nodes, and
+        // the reduction is visible in the stats.
         let out = MilpSolver::new().solve(&m).unwrap();
-        assert!(out.stats.nodes >= 1);
+        assert_eq!(out.status, SolveStatus::Optimal);
+        assert_eq!(out.stats.nodes, 0);
+        assert!(out.stats.presolve_rows >= 1);
+        assert!(out.stats.presolve_cols >= 1);
         assert_eq!(out.stats.best_bound, 1.0);
+        // With presolve off the same model must cost at least one node.
+        let out = MilpSolver::new().presolve(false).solve(&m).unwrap();
+        assert_eq!(out.status, SolveStatus::Optimal);
+        assert!(out.stats.nodes >= 1);
+        assert_eq!(out.stats.presolve_rows, 0);
+        assert_eq!(out.stats.best_bound, 1.0);
+    }
+
+    #[test]
+    fn presolve_and_raw_agree_on_knapsack() {
+        let mut m = Model::new(Sense::Maximize);
+        let xs: Vec<_> = (0..8).map(|i| m.binary_var(format!("x{i}"))).collect();
+        let mut w = LinExpr::new();
+        let mut v = LinExpr::new();
+        for (i, &x) in xs.iter().enumerate() {
+            w.add_term(x, 2.0 + (i as f64) * 1.7);
+            v.add_term(x, 4.0 + ((i * 3) % 5) as f64);
+        }
+        m.add_leq(w, 15.0);
+        m.set_objective(v + 3.0);
+        let on = MilpSolver::new().solve(&m).unwrap();
+        let off = MilpSolver::new().presolve(false).solve(&m).unwrap();
+        assert_eq!(on.status, SolveStatus::Optimal);
+        assert_eq!(off.status, SolveStatus::Optimal);
+        let (a, b) = (on.best.unwrap(), off.best.unwrap());
+        assert!((a.objective - b.objective).abs() < 1e-6);
+        assert_eq!(a.values().len(), b.values().len());
+    }
+
+    #[test]
+    fn initial_incumbent_cutoff_respects_objective_constant() {
+        // Minimise x + 100 with x ≥ 3 integer in [0, 10] plus a second
+        // variable to keep presolve from solving it outright. A claimed
+        // incumbent of 103 (the true optimum) must not prune the optimum
+        // away: the cutoff must subtract the constant.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.integer_var("x", 0.0, 10.0);
+        let y = m.integer_var("y", 0.0, 10.0);
+        m.add_geq(x + y, 3.0);
+        m.set_objective(x + y + 100.0);
+        let out = MilpSolver::new()
+            .initial_incumbent(103.0)
+            .solve(&m)
+            .unwrap();
+        assert!(matches!(
+            out.status,
+            SolveStatus::Optimal | SolveStatus::Infeasible
+        ));
+        assert!((out.stats.best_bound - 103.0).abs() < 1e-6 || out.best.is_none());
+        // Without the claimed incumbent the optimum is reported directly.
+        let out = MilpSolver::new().solve(&m).unwrap();
+        assert_eq!(out.status, SolveStatus::Optimal);
+        assert!((out.best.unwrap().objective - 103.0).abs() < 1e-6);
     }
 }

@@ -7,10 +7,45 @@
 //!
 //! * a modelling API ([`Model`], [`LinExpr`], [`VarId`]) for continuous,
 //!   general-integer and binary variables with bounds,
+//! * a **static presolve** layer ([`presolve`](mod@presolve)) that
+//!   shrinks the model and certifies trivial verdicts before any basis
+//!   is factorized,
 //! * a **sparse revised simplex** for the LP relaxations ([`simplex`]),
 //! * a **branch-and-bound** driver ([`MilpSolver`]) with depth-first
 //!   search, most-fractional branching, integral-objective ceiling bounds,
 //!   warm-start incumbents, node/time limits.
+//!
+//! # Presolve / postsolve architecture
+//!
+//! [`presolve()`] sits between [`Model`] construction and
+//! [`Model::to_sparse_lp`]. It runs row, duplicate and column sweeps to
+//! a fixpoint (bounded by a pass cap): empty and singleton rows become
+//! bound updates, redundant rows are dropped and forcing rows fix their
+//! whole support, duplicate rows merge to the tightest combination,
+//! implied-free zero-cost column singletons are substituted out, empty
+//! columns are fixed at their cheapest bound, and integer bounds are
+//! tightened by floor/ceil implied-bound propagation.
+//!
+//! Every deduction is pure interval arithmetic over the variable
+//! bounds, so a [`PresolveOutcome::Infeasible`] or
+//! [`PresolveOutcome::Unbounded`] outcome is a *certificate*, exactly
+//! like the simplex engine's audited verdicts — branch-and-bound can
+//! return it without ever factorizing a basis ([`SolveStats`] then
+//! reports zero nodes). Unboundedness is only certified once zero rows
+//! remain (the model is trivially feasible) and an improving direction
+//! is unbounded; anything subtler is left for the simplex to decide.
+//!
+//! The reductions are recorded in a [`Postsolve`] action stack; applying
+//! it in reverse lifts any reduced-model solution back to the original
+//! variable space (`x = clamp((rhs − Σ aᵢ·xᵢ)/coeff, lb, ub)` for
+//! substitutions, the recorded value for fixings). [`MilpSolver`] runs
+//! presolve at the root by default ([`MilpOptions::presolve`] turns it
+//! off), re-applies integer implied-bound propagation per node before
+//! each LP, and restores incumbents through the postsolve record, so
+//! solver signatures, reported solutions and verdict semantics are
+//! unchanged by the whole layer. [`numerics_report`] shares the same
+//! static machinery to flag tiny/huge coefficients and near-parallel
+//! rows before a solve is attempted.
 //!
 //! # Revised-simplex architecture
 //!
@@ -113,6 +148,7 @@ mod expr;
 pub mod fixtures;
 pub mod lu;
 mod model;
+pub mod presolve;
 pub mod simplex;
 mod solution;
 pub mod sparse;
@@ -121,4 +157,7 @@ pub use branch_bound::{MilpOptions, MilpSolver};
 pub use error::IlpError;
 pub use expr::{LinExpr, SparseVec, VarId};
 pub use model::{ConstraintOp, Model, Sense, VarKind};
+pub use presolve::{
+    numerics_report, presolve, NumericsReport, Postsolve, PresolveOutcome, PresolveStats, Presolved,
+};
 pub use solution::{MilpOutcome, Solution, SolveStats, SolveStatus};

@@ -274,7 +274,7 @@ impl LuFactors {
         for (p, col) in cols.iter_mut().enumerate() {
             buf.clear();
             column(p, &mut buf);
-            for &(r, v) in buf.iter() {
+            for &(r, v) in &buf {
                 debug_assert!(r < m, "column {p} references row {r} of {m}");
                 if v != 0.0 {
                     col.push((r, v));
@@ -829,10 +829,10 @@ mod tests {
         for step in 0..24 {
             let p = (splitmix(&mut s) % m as u64) as usize;
             // New column: diagonal-dominant so updates stay acceptable.
-            let mut newcol = vec![(p, 3.0 + (step % 3) as f64)];
+            let mut newcol = vec![(p, 3.0 + f64::from(step % 3))];
             let r = (splitmix(&mut s) % m as u64) as usize;
             if r != p {
-                newcol.push((r, 1.0 - ((step % 5) as f64) / 2.0));
+                newcol.push((r, 1.0 - f64::from(step % 5) / 2.0));
             }
             // Spike = H⁻¹F⁻¹ a, captured through a full FTRAN.
             let mut dense = vec![0.0; m];
@@ -865,10 +865,10 @@ mod tests {
         let mut s = 0xCAFEu64;
         for step in 0..300 {
             let p = (splitmix(&mut s) % m as u64) as usize;
-            let mut newcol = vec![(p, 2.5 + ((step % 4) as f64) / 2.0)];
+            let mut newcol = vec![(p, 2.5 + f64::from(step % 4) / 2.0)];
             let r = (splitmix(&mut s) % m as u64) as usize;
             if r != p {
-                newcol.push((r, 1.0 - ((step % 3) as f64) / 2.0));
+                newcol.push((r, 1.0 - f64::from(step % 3) / 2.0));
             }
             let mut dense = vec![0.0; m];
             for &(row, v) in &newcol {

@@ -204,7 +204,6 @@ impl Model {
         &self.vars
     }
 
-    #[cfg(test)]
     pub(crate) fn constraints(&self) -> &[Constraint] {
         &self.constraints
     }

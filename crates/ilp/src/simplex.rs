@@ -362,6 +362,15 @@ pub struct SimplexEngine<'a> {
     total_degen: usize,
 }
 
+impl std::fmt::Debug for SimplexEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimplexEngine")
+            .field("m", &self.m)
+            .field("n", &self.n)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a> SimplexEngine<'a> {
     fn new(lp: &'a SparseLp) -> Self {
         let n = lp.var_count();

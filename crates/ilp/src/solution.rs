@@ -45,6 +45,20 @@ pub struct SolveStats {
     /// forces a refactorization; a high count signals an
     /// ill-conditioned relaxation).
     pub rejected_updates: usize,
+    /// Constraints eliminated by the root presolve pass (zero when
+    /// presolve is disabled via `MilpOptions::presolve`).
+    pub presolve_rows: usize,
+    /// Variables eliminated by the root presolve pass (fixed or
+    /// substituted out; restored transparently in reported solutions).
+    pub presolve_cols: usize,
+    /// Variable bounds tightened by the root presolve pass.
+    pub presolve_tightenings: usize,
+    /// Integer bounds tightened by per-node propagation across all
+    /// branch-and-bound nodes.
+    pub node_tightenings: usize,
+    /// Nodes pruned by per-node propagation alone — their LP relaxation
+    /// was never solved.
+    pub propagation_prunes: usize,
     /// Wall-clock time of the solve.
     pub elapsed: Duration,
     /// Best proven bound on the optimum (in the model's sense); equals the

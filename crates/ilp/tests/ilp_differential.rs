@@ -27,7 +27,9 @@
 use fpva_ilp::dense;
 use fpva_ilp::fixtures;
 use fpva_ilp::simplex::{self, LpProblem, LpRow, LpStatus, SparseLp};
-use fpva_ilp::ConstraintOp;
+use fpva_ilp::{
+    presolve, ConstraintOp, LinExpr, MilpSolver, Model, PresolveOutcome, Sense, SolveStatus,
+};
 use proptest::prelude::*;
 
 /// Objective agreement tolerance between the two solvers.
@@ -151,6 +153,88 @@ fn primal_violation(p: &LpProblem, x: &[f64]) -> f64 {
     worst
 }
 
+/// Mirrors `p` as a minimisation [`Model`]; `integer[j]` (when present)
+/// upgrades variable `j` to an integer. All instance constructions above
+/// use integral witnesses and bounds, so integrality never breaks the
+/// guaranteed status class.
+fn model_from_problem(p: &LpProblem, integer: &[bool]) -> Model {
+    let mut m = Model::new(Sense::Minimize);
+    let ids: Vec<_> = p
+        .lower
+        .iter()
+        .zip(&p.upper)
+        .enumerate()
+        .map(|(j, (&l, &u))| {
+            if integer.get(j).copied().unwrap_or(false) {
+                m.integer_var(format!("x{j}"), l, u)
+            } else {
+                m.continuous_var(format!("x{j}"), l, u)
+            }
+        })
+        .collect();
+    let mut obj = LinExpr::new();
+    for (j, &c) in p.objective.iter().enumerate() {
+        obj.add_term(ids[j], c);
+    }
+    m.set_objective(obj);
+    for row in &p.rows {
+        let mut e = LinExpr::new();
+        for &(j, a) in &row.coeffs {
+            e.add_term(ids[j], a);
+        }
+        m.add_constraint(e, row.op, row.rhs);
+    }
+    m
+}
+
+/// Every other variable integer, rotated by the instance's spare index, so
+/// the mask varies across cases but is deterministic per instance.
+fn integer_mask(raw: &InstanceRaw) -> Vec<bool> {
+    (0..raw.0).map(|j| (j + raw.3).is_multiple_of(2)).collect()
+}
+
+/// Solves the same [`Model`] with presolve on and off; the two runs must
+/// agree on the status, agree on the objective within [`OBJ_TOL`] when
+/// optimal, and the presolved (postsolve-restored) point must satisfy the
+/// original rows and bounds.
+fn check_presolve_agreement(p: &LpProblem, integer: &[bool]) -> Result<(), TestCaseError> {
+    let m = model_from_problem(p, integer);
+    let with = MilpSolver::new().presolve(true).solve(&m).unwrap();
+    let without = MilpSolver::new().presolve(false).solve(&m).unwrap();
+    prop_assert_eq!(
+        with.status,
+        without.status,
+        "presolve changed the verdict on {:?}",
+        p
+    );
+    if with.status == SolveStatus::Optimal {
+        let a = with.best.expect("optimal outcome carries a solution");
+        let b = without.best.expect("optimal outcome carries a solution");
+        prop_assert!(
+            (a.objective - b.objective).abs() <= OBJ_TOL,
+            "objectives diverge: presolved {} vs raw {} on {:?}",
+            a.objective,
+            b.objective,
+            p
+        );
+        let viol = primal_violation(p, a.values());
+        prop_assert!(
+            viol <= OBJ_TOL,
+            "restored point violates the model by {viol}"
+        );
+        for (j, &is_int) in integer.iter().enumerate() {
+            if is_int {
+                let v = a.values()[j];
+                prop_assert!(
+                    (v - v.round()).abs() <= OBJ_TOL,
+                    "restored x{j}={v} is fractional"
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -205,6 +289,69 @@ proptest! {
         let s = simplex::solve(&p);
         prop_assert_eq!(d.status, LpStatus::Unbounded, "oracle: {:?}", d.status);
         prop_assert_eq!(s.status, LpStatus::Unbounded, "revised simplex: {:?}", s.status);
+    }
+
+    // ---- presolve differential: the presolved solver against the raw
+    // solver on the same model, one test per guaranteed status class ----
+
+    #[test]
+    fn presolve_agrees_on_feasible(raw in arb_instance()) {
+        check_presolve_agreement(&build_feasible(&raw, false, false), &integer_mask(&raw))?;
+    }
+
+    #[test]
+    fn presolve_agrees_on_degenerate(raw in arb_instance()) {
+        // Duplicated tight rows are presolve's favourite food (duplicate
+        // and redundant row elimination both fire); verdicts must not move.
+        check_presolve_agreement(&build_feasible(&raw, true, true), &integer_mask(&raw))?;
+    }
+
+    #[test]
+    fn presolve_agrees_on_infeasible(raw in arb_instance()) {
+        check_presolve_agreement(&build_infeasible(&raw), &integer_mask(&raw))?;
+    }
+
+    #[test]
+    fn presolve_agrees_on_unbounded(raw in arb_instance()) {
+        // The ray variable z is appended after the mask, so it stays
+        // continuous and the instance stays certifiably unbounded.
+        check_presolve_agreement(&build_unbounded(&raw), &integer_mask(&raw))?;
+    }
+
+    #[test]
+    fn postsolve_roundtrips_to_feasible_original(raw in arb_instance()) {
+        let p = build_feasible(&raw, false, false);
+        let n = p.objective.len();
+        let integer = integer_mask(&raw);
+        let m = model_from_problem(&p, &integer);
+        match presolve(&m) {
+            fpva_ilp::Presolved { outcome: PresolveOutcome::Reduced(red), postsolve, .. } => {
+                prop_assert_eq!(postsolve.original_var_count(), n);
+                prop_assert_eq!(postsolve.reduced_var_count(), red.var_count());
+                let out = MilpSolver::new().presolve(false).solve(&red).unwrap();
+                prop_assert_eq!(out.status, SolveStatus::Optimal, "reduced model of a feasible instance");
+                let restored = postsolve.restore(out.best.unwrap().values());
+                prop_assert_eq!(restored.len(), n);
+                let viol = primal_violation(&p, &restored);
+                prop_assert!(viol <= OBJ_TOL, "postsolve point violates the original by {viol}");
+                for (j, &is_int) in integer.iter().enumerate() {
+                    if is_int {
+                        prop_assert!(
+                            (restored[j] - restored[j].round()).abs() <= OBJ_TOL,
+                            "postsolve made x{j}={} fractional", restored[j]
+                        );
+                    }
+                }
+            }
+            fpva_ilp::Presolved { outcome: PresolveOutcome::Solved(values), .. } => {
+                prop_assert_eq!(values.len(), n);
+                let viol = primal_violation(&p, &values);
+                prop_assert!(viol <= OBJ_TOL, "presolve-solved point violates the original by {viol}");
+            }
+            fpva_ilp::Presolved { outcome, .. } => {
+                prop_assert!(false, "feasible instance presolved to {outcome:?}");
+            }
+        }
     }
 }
 
@@ -342,7 +489,7 @@ fn near_singular_basis_recovers() {
     let mut engine = prepared.engine();
     let mut basis = None;
     for step in 0..40 {
-        let hi = 5.0 - 0.1 * (step % 20) as f64;
+        let hi = 5.0 - 0.1 * f64::from(step % 20);
         let upper = vec![5.0, hi, 5.0];
         let (sol, nb) = engine.solve(&p.lower, &upper, None, basis.as_ref());
         let oracle = dense::solve(&LpProblem {

@@ -149,6 +149,27 @@ impl ObservableLeaks {
     pub fn is_empty(&self) -> bool {
         self.pairs.is_empty()
     }
+
+    /// The ordered adjacent `(actuator, victim)` pairs of `fpva` that no
+    /// pressure metering can observe — the complement of this table over
+    /// the full adjacent-pair scan. A non-empty result means some leak
+    /// faults are untestable by construction on this chip; `fpva-lint`
+    /// surfaces them as zero-observability diagnostics.
+    ///
+    /// Pass the same `fpva` the table was built from.
+    pub fn unobservable_pairs(&self, fpva: &Fpva) -> Vec<(ValveId, ValveId)> {
+        let observable: std::collections::BTreeSet<_> = self.pairs.iter().copied().collect();
+        let mut out = Vec::new();
+        for a in 0..fpva.valve_count() {
+            let actuator = ValveId(a);
+            for victim in fpva.valve_neighbors(actuator) {
+                if !observable.contains(&(actuator, victim)) {
+                    out.push((actuator, victim));
+                }
+            }
+        }
+        out
+    }
 }
 
 /// Derives the seed of one trial's private RNG from the campaign seed, the
@@ -458,6 +479,18 @@ mod tests {
             .sum();
         assert_eq!(table.len(), probed);
         assert_eq!(table, ObservableLeaks::par_build(&f, 4));
+    }
+
+    #[test]
+    fn unobservable_pairs_complement_the_observable_table() {
+        let f = layouts::table1_5x5();
+        let table = ObservableLeaks::build(&f);
+        let unobservable = table.unobservable_pairs(&f);
+        let total: usize = f.valves().map(|(a, _)| f.valve_neighbors(a).len()).sum();
+        assert_eq!(table.len() + unobservable.len(), total);
+        for (a, b) in unobservable {
+            assert!(!leak_is_observable(&f, a, b));
+        }
     }
 
     #[test]

@@ -19,9 +19,7 @@ use std::sync::Mutex;
 /// available CPU", anything else is taken literally.
 pub fn resolve_threads(threads: usize) -> usize {
     match threads {
-        0 => std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1),
+        0 => std::thread::available_parallelism().map_or(1, NonZeroUsize::get),
         t => t,
     }
 }
@@ -92,7 +90,7 @@ mod tests {
 
     #[test]
     fn chunks_cover_the_range_in_order() {
-        let chunks = run_chunked(1, 10, 4, |r| r.collect::<Vec<_>>());
+        let chunks = run_chunked(1, 10, 4, std::iter::Iterator::collect::<Vec<_>>);
         assert_eq!(chunks, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]);
     }
 
@@ -104,7 +102,7 @@ mod tests {
 
     #[test]
     fn results_are_thread_count_invariant() {
-        let sweep = |threads| run_chunked(threads, 103, 7, |r| r.sum::<usize>());
+        let sweep = |threads| run_chunked(threads, 103, 7, std::iter::Iterator::sum::<usize>);
         let serial = sweep(1);
         for threads in [2, 3, 8] {
             assert_eq!(sweep(threads), serial, "threads={threads}");
@@ -114,7 +112,7 @@ mod tests {
 
     #[test]
     fn chunk_size_larger_than_input_runs_inline_as_one_chunk() {
-        let chunks = run_chunked(8, 5, 100, |r| r.collect::<Vec<_>>());
+        let chunks = run_chunked(8, 5, 100, std::iter::Iterator::collect::<Vec<_>>);
         assert_eq!(chunks, vec![vec![0, 1, 2, 3, 4]]);
     }
 

@@ -5,23 +5,17 @@
 //!
 //! Run with `cargo run --release --example custom_biochip`.
 
+use fpva::grid::layouts;
 use fpva::grid::render::render;
-use fpva::grid::{PortKind, Side};
 use fpva::sim::audit;
-use fpva::{Atpg, FpvaBuilder};
+use fpva::Atpg;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 12x12 chip: two transport channels feeding a work area, a 2x2
     // sensor block that carries no valves, one pressure source and two
-    // meters on different edges.
-    let fpva = FpvaBuilder::new(12, 12)
-        .channel_horizontal(2, 1, 6)
-        .channel_vertical(9, 4, 8)
-        .obstacle(6, 3, 7, 4)
-        .port(0, 0, Side::West, PortKind::Source)
-        .port(11, 11, Side::East, PortKind::Sink)
-        .port(11, 0, Side::South, PortKind::Sink)
-        .build()?;
+    // meters on different edges. The layout lives in `layouts` so
+    // `fpva-lint` audits exactly the chip this example runs.
+    let fpva = layouts::custom_biochip();
     println!(
         "custom chip ({} valves):\n{}",
         fpva.valve_count(),
