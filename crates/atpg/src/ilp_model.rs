@@ -39,6 +39,11 @@ pub struct PathIlpConfig {
     pub time_limit: Duration,
     /// Node budget per feasibility probe.
     pub node_limit: usize,
+    /// Solve each probe in proof-logging mode and audit the returned
+    /// certificate with [`fpva_ilp::certify_outcome`] in exact rational
+    /// arithmetic. Certified probes disable `stop_at_first` (a terminal
+    /// verdict needs a complete tree), so expect more nodes per probe.
+    pub certify: bool,
 }
 
 impl Default for PathIlpConfig {
@@ -47,6 +52,7 @@ impl Default for PathIlpConfig {
             max_paths: 8,
             time_limit: Duration::from_secs(20),
             node_limit: 200_000,
+            certify: false,
         }
     }
 }
@@ -340,6 +346,17 @@ pub struct IlpCoverStats {
     pub node_tightenings: usize,
     /// Nodes pruned by propagation alone (no LP solved) across all probes.
     pub propagation_prunes: usize,
+    /// Probes whose certificate passed the exact-arithmetic audit
+    /// (zero unless [`PathIlpConfig::certify`] is set).
+    pub certified_probes: usize,
+    /// Branch-and-bound leaves re-proved exactly across all audited
+    /// certificates.
+    pub certificate_leaves: usize,
+    /// Presolve actions audited across all certified probes.
+    pub certificate_actions: usize,
+    /// Probes whose certificate was rejected (or missing) — any non-zero
+    /// value means a solver verdict could not be proven.
+    pub certificate_failures: usize,
 }
 
 /// Builds the paper's "cover all valves with exactly `k` paths" model
@@ -427,7 +444,10 @@ pub fn min_path_cover_ilp_with_stats(
         let solver = MilpSolver::with_options(MilpOptions {
             time_limit: Some(config.time_limit),
             node_limit: Some(config.node_limit),
-            stop_at_first: true,
+            // A certified probe needs the whole tree as a proof; an
+            // uncertified one can stop at the first cover.
+            stop_at_first: !config.certify,
+            certificate: config.certify,
             ..MilpOptions::default()
         });
         let outcome = match solver.solve(&model) {
@@ -453,6 +473,21 @@ pub fn min_path_cover_ilp_with_stats(
         stats.presolve_tightenings += outcome.stats.presolve_tightenings;
         stats.node_tightenings += outcome.stats.node_tightenings;
         stats.propagation_prunes += outcome.stats.propagation_prunes;
+        if config.certify
+            && matches!(
+                outcome.status,
+                SolveStatus::Optimal | SolveStatus::Feasible | SolveStatus::Infeasible
+            )
+        {
+            match fpva_ilp::certify_outcome(&model, &outcome) {
+                Ok(summary) => {
+                    stats.certified_probes += 1;
+                    stats.certificate_leaves += summary.leaves;
+                    stats.certificate_actions += summary.actions;
+                }
+                Err(_) => stats.certificate_failures += 1,
+            }
+        }
         match outcome.status {
             SolveStatus::Optimal | SolveStatus::Feasible => {
                 let sol = outcome.best.expect("feasible outcome has incumbent");

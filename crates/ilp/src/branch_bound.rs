@@ -1,9 +1,10 @@
 //! Branch-and-bound driver on top of the simplex relaxation.
 
+use crate::certify::{LeafCert, MilpCertificate, NodeCert};
 use crate::error::IlpError;
 use crate::model::{Model, Sense, VarKind};
 use crate::presolve::{self, Postsolve, PresolveOutcome, PresolveStats, Propagator};
-use crate::simplex::{Basis, LpStatus};
+use crate::simplex::{Basis, LpCertificate, LpStatus};
 use crate::solution::{MilpOutcome, Solution, SolveStats, SolveStatus};
 use std::rc::Rc;
 use std::time::{Duration, Instant};
@@ -34,6 +35,15 @@ pub struct MilpOptions {
     /// mapped back through the postsolve record. Disable to solve the
     /// model exactly as written (used by differential harnesses).
     pub presolve: bool,
+    /// Record a proof log ([`MilpCertificate`]) of the run into
+    /// [`MilpOutcome::certificate`], re-verifiable in exact arithmetic by
+    /// [`crate::certify::certify_outcome`]. Certificate mode keeps every
+    /// pruning decision provable: per-node bound propagation is disabled
+    /// (its tightenings are unproved deductions), and verdicts presolve
+    /// certifies on its own are re-proved by branch-and-bound on the
+    /// original model. Off by default — proof logging costs memory
+    /// (duals per leaf) and some speed.
+    pub certificate: bool,
 }
 
 impl Default for MilpOptions {
@@ -45,6 +55,7 @@ impl Default for MilpOptions {
             initial_incumbent: None,
             stop_at_first: false,
             presolve: true,
+            certificate: false,
         }
     }
 }
@@ -96,6 +107,14 @@ impl MilpSolver {
         self
     }
 
+    /// Enables or disables proof logging (off by default); see
+    /// [`MilpOptions::certificate`].
+    #[must_use]
+    pub fn certificate(mut self, enabled: bool) -> Self {
+        self.options.certificate = enabled;
+        self
+    }
+
     /// Solves the model.
     ///
     /// Infeasibility/unboundedness are reported through
@@ -129,16 +148,31 @@ impl MilpSolver {
             best_bound,
             ..SolveStats::default()
         };
+        // In certificate mode a verdict presolve certifies on its own
+        // (pure interval arithmetic) is re-proved by branch-and-bound on
+        // the *original* model: the resulting tree proof needs no
+        // reduced-model equivalence argument, so `certify_outcome` can
+        // check it exactly.
+        if self.options.certificate
+            && matches!(
+                pre.outcome,
+                PresolveOutcome::Infeasible { .. } | PresolveOutcome::Solved(_)
+            )
+        {
+            return Ok(self.branch_and_bound(model, model, None, pstats, start));
+        }
         match pre.outcome {
             PresolveOutcome::Infeasible { .. } => Ok(MilpOutcome {
                 status: SolveStatus::Infeasible,
                 best: None,
                 stats: make_stats(sign * f64::NEG_INFINITY),
+                certificate: None,
             }),
             PresolveOutcome::Unbounded => Ok(MilpOutcome {
                 status: SolveStatus::Unbounded,
                 best: None,
                 stats: make_stats(sign * f64::NEG_INFINITY),
+                certificate: None,
             }),
             PresolveOutcome::Solved(values) => {
                 let objective = model.objective().eval(&values);
@@ -146,6 +180,7 @@ impl MilpSolver {
                     status: SolveStatus::Optimal,
                     best: Some(Solution { objective, values }),
                     stats: make_stats(objective),
+                    certificate: None,
                 })
             }
             PresolveOutcome::Reduced(reduced) => {
@@ -193,10 +228,26 @@ impl MilpSolver {
             .collect();
         let integral_objective = model.objective_is_integral();
         let tol = self.options.integer_tol;
+        let cert_on = self.options.certificate;
+        engine.set_certify(cert_on);
         // Per-node integer bound propagation only runs when presolve is
         // on: it is the "reapply the bound-tightening reductions at every
-        // node" half of the presolve design.
-        let propagator = postsolve.is_some().then(|| Propagator::new(model));
+        // node" half of the presolve design. Certificate mode disables it
+        // — a propagated bound is an unproved deduction, and leaf proofs
+        // must hold under root bounds plus branch decisions alone.
+        let propagator = (postsolve.is_some() && !cert_on).then(|| Propagator::new(model));
+        // Proof log: one NodeCert per branch-and-bound node, root first.
+        let mut tree: Vec<NodeCert> = Vec::new();
+        if cert_on {
+            tree.push(NodeCert {
+                parent: None,
+                branch: None,
+                leaf: None,
+            });
+        }
+        // Set when a verdict could not be backed by LP evidence (the
+        // engine declined to certify); the tree is then incomplete.
+        let mut cert_failed = false;
 
         let mut stats = SolveStats {
             presolve_rows: pstats.rows_removed,
@@ -219,9 +270,9 @@ impl MilpSolver {
         // both children via Rc): warm-starting the child LP from it cuts
         // the per-node pivot count by an order of magnitude compared to
         // re-growing the basis from slacks at every node.
-        type Node = (Vec<f64>, Vec<f64>, Option<Rc<Basis>>);
-        let mut stack: Vec<Node> = vec![(base_lower, base_upper, None)];
-        while let Some((mut lower, mut upper, warm)) = stack.pop() {
+        type Node = (Vec<f64>, Vec<f64>, Option<Rc<Basis>>, usize);
+        let mut stack: Vec<Node> = vec![(base_lower, base_upper, None, 0)];
+        while let Some((mut lower, mut upper, warm, nid)) = stack.pop() {
             if let Some(limit) = self.options.node_limit {
                 if stats.nodes >= limit {
                     hit_limit = true;
@@ -251,10 +302,29 @@ impl MilpSolver {
             }
             stats.nodes += 1;
 
+            // An empty variable box is a trivially exact leaf proof; the
+            // simplex also detects it, but without a Farkas ray.
+            if cert_on {
+                if let Some(j) = (0..n).find(|&j| lower[j] > upper[j]) {
+                    tree[nid].leaf = Some(LeafCert::EmptyBox { var: j });
+                    continue;
+                }
+            }
+
             let (sol, node_basis) = engine.solve(&lower, &upper, deadline, warm.as_deref());
             stats.lp_iterations += sol.iterations;
             match sol.status {
-                LpStatus::Infeasible => continue,
+                LpStatus::Infeasible => {
+                    if cert_on {
+                        match engine.take_certificate() {
+                            Some(LpCertificate::Infeasible { farkas }) => {
+                                tree[nid].leaf = Some(LeafCert::Infeasible { farkas });
+                            }
+                            _ => cert_failed = true,
+                        }
+                    }
+                    continue;
+                }
                 LpStatus::Unbounded => {
                     // Bounds only tighten below the root, so any unbounded
                     // node implies an unbounded relaxation.
@@ -268,6 +338,7 @@ impl MilpSolver {
                         status: SolveStatus::Unbounded,
                         best: None,
                         stats,
+                        certificate: None,
                     };
                 }
                 LpStatus::IterationLimit | LpStatus::TimeLimit => {
@@ -280,6 +351,15 @@ impl MilpSolver {
                 }
                 LpStatus::Optimal => {}
             }
+            // In certificate mode an Optimal verdict comes with the final
+            // simplex multipliers: the evidence for a Bound or Integral
+            // leaf, should this node become one.
+            let mut duals: Option<Vec<f64>> = None;
+            if cert_on {
+                if let Some(LpCertificate::Optimal { duals: d, .. }) = engine.take_certificate() {
+                    duals = Some(d);
+                }
+            }
             if stats.nodes == 1 {
                 root_bound = sol.objective;
             }
@@ -291,6 +371,17 @@ impl MilpSolver {
                 cutoff - 1e-9
             };
             if node_bound > prune_threshold {
+                if cert_on {
+                    match duals.take() {
+                        Some(d) => {
+                            tree[nid].leaf = Some(LeafCert::Bound {
+                                duals: d,
+                                bound: node_bound,
+                            });
+                        }
+                        None => cert_failed = true,
+                    }
+                }
                 continue;
             }
 
@@ -320,6 +411,18 @@ impl MilpSolver {
                     .zip(&values)
                     .map(|(c, x)| c * x)
                     .sum::<f64>();
+                if cert_on {
+                    match duals.take() {
+                        Some(d) => {
+                            tree[nid].leaf = Some(LeafCert::Integral {
+                                x: values.clone(),
+                                duals: d,
+                                objective: min_obj,
+                            });
+                        }
+                        None => cert_failed = true,
+                    }
+                }
                 if min_obj < cutoff - 1e-9 {
                     cutoff = min_obj;
                     incumbent = Some((min_obj, values));
@@ -334,9 +437,27 @@ impl MilpSolver {
             // Children: explore the side nearer the LP value first (LIFO).
             let parent_basis = node_basis.map(Rc::new);
             let floor = v.floor();
-            let mut down = (lower.clone(), upper.clone(), parent_basis.clone());
+            let (down_id, up_id) = if cert_on {
+                tree[nid].branch = Some((j, floor));
+                let down_id = tree.len();
+                tree.push(NodeCert {
+                    parent: Some((nid, false)),
+                    branch: None,
+                    leaf: None,
+                });
+                let up_id = tree.len();
+                tree.push(NodeCert {
+                    parent: Some((nid, true)),
+                    branch: None,
+                    leaf: None,
+                });
+                (down_id, up_id)
+            } else {
+                (0, 0)
+            };
+            let mut down = (lower.clone(), upper.clone(), parent_basis.clone(), down_id);
             down.1[j] = floor;
-            let mut up = (lower, upper, parent_basis);
+            let mut up = (lower, upper, parent_basis, up_id);
             up.0[j] = floor + 1.0;
             if v - floor > 0.5 {
                 stack.push(down);
@@ -359,6 +480,17 @@ impl MilpSolver {
             (None, true) => SolveStatus::Infeasible,
             (None, false) => SolveStatus::Unknown,
         };
+        let certificate = cert_on.then(|| MilpCertificate {
+            reduced: model.clone(),
+            presolve: postsolve.map(Postsolve::certificate),
+            tree: std::mem::take(&mut tree),
+            incumbent_reduced: incumbent.as_ref().map(|(_, v)| v.clone()),
+            initial_cutoff: self
+                .options
+                .initial_incumbent
+                .map(|u| sign * (u - obj_constant)),
+            complete: proved_optimal && !cert_failed,
+        });
         let best = incumbent.map(|(_, values)| {
             // Lift the reduced-space incumbent back to the original
             // variables; the objective is always evaluated through the
@@ -379,6 +511,7 @@ impl MilpSolver {
             status,
             best,
             stats,
+            certificate,
         }
     }
 }

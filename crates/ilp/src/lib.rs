@@ -112,6 +112,47 @@
 //! reference oracle the `ilp_differential` proptest harness checks the
 //! revised simplex against.
 //!
+//! # Certificates and exact re-verification
+//!
+//! Every safeguard above still trusts `f64`. The certificate layer
+//! removes that trust for terminal verdicts: solvers *log proofs*, and
+//! [`certify`](mod@certify) re-checks them in exact arbitrary-precision
+//! rational arithmetic ([`bigrat::BigRat`] — every finite `f64` is a
+//! dyadic rational, so the conversion is lossless and no dependency is
+//! needed).
+//!
+//! * **LP level.** [`simplex::SimplexEngine::set_certify`] makes each
+//!   solve emit an [`simplex::LpCertificate`]: the final primal point and
+//!   simplex multipliers for `Optimal`, a phase-1 Farkas ray for
+//!   `Infeasible`. [`certify::certify_lp`] re-proves the verdict from the
+//!   multipliers alone — the Lagrangian bound `y·b + Σ min dⱼxⱼ` must
+//!   reach the primal objective, or the aggregated Farkas row must exceed
+//!   the variable box's maximum activity — without trusting the basis or
+//!   the factorization.
+//! * **MILP level.** [`MilpOptions::certificate`] makes [`MilpSolver`]
+//!   record a [`certify::MilpCertificate`]: the full branching tree
+//!   (every leaf carrying a Farkas ray, a dominating dual bound, an
+//!   integral LP optimum or an empty domain), the reduced-space
+//!   incumbent, and presolve's reduction action list.
+//!   [`certify::certify_outcome`] replays the tree from the root,
+//!   re-proves every leaf under its accumulated bounds, audits the
+//!   presolve actions against the original model, independently replays
+//!   the postsolve over the incumbent and re-checks the restored point's
+//!   feasibility and objective against the **original** model — exactly.
+//!   Rejections are structured [`certify::CertifyError`]s naming the
+//!   violated row, bound, leaf or action.
+//!
+//! Certificate mode changes the search to keep proofs exact: per-node
+//! bound propagation is disabled (a tightened bound is an unproved
+//! deduction; leaf boxes must be root bounds plus branch decisions only),
+//! and when presolve itself certifies an `Infeasible`/`Solved` verdict
+//! the solver re-proves it by branch-and-bound on the *original* model so
+//! the tree proof needs no reduction equivalence argument. The remaining
+//! trust boundary is deliberate and documented: for *pruning* purposes
+//! the reduced model is audited (action-by-action consistency, mapping
+//! injectivity, bounds only tightened, incumbent replay) but presolve's
+//! interval deductions are not re-derived from first principles.
+//!
 //! It is sized for the instances the paper's *hierarchical* flow produces
 //! (subblocks up to a few hundred variables); it is not a general-purpose
 //! replacement for a commercial solver on huge direct formulations — that
@@ -140,7 +181,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bigrat;
 mod branch_bound;
+pub mod certify;
 pub mod dense;
 mod error;
 mod expr;
@@ -153,7 +196,9 @@ pub mod simplex;
 mod solution;
 pub mod sparse;
 
+pub use bigrat::BigRat;
 pub use branch_bound::{MilpOptions, MilpSolver};
+pub use certify::{certify_lp, certify_outcome, CertifyError, CertifySummary, MilpCertificate};
 pub use error::IlpError;
 pub use expr::{LinExpr, SparseVec, VarId};
 pub use model::{ConstraintOp, Model, Sense, VarKind};

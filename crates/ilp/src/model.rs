@@ -36,7 +36,7 @@ pub enum ConstraintOp {
     Eq,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct VarDef {
     pub name: String,
     pub kind: VarKind,
@@ -44,7 +44,7 @@ pub(crate) struct VarDef {
     pub ub: f64,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct Constraint {
     pub expr: LinExpr,
     pub op: ConstraintOp,
@@ -63,7 +63,7 @@ pub(crate) struct Constraint {
 /// assert_eq!(m.var_count(), 2);
 /// assert_eq!(m.constraint_count(), 1);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Model {
     sense: Sense,
     vars: Vec<VarDef>,

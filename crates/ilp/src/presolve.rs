@@ -115,6 +115,42 @@ impl Postsolve {
         self.forward.iter().flatten().count()
     }
 
+    /// Exports the reduction record for exact-arithmetic auditing by
+    /// [`crate::certify::certify_outcome`]: the variable mapping plus
+    /// every action, in application order.
+    pub fn certificate(&self) -> crate::certify::PresolveCertificate {
+        use crate::certify::PresolveAction;
+        crate::certify::PresolveCertificate {
+            original_vars: self.original_n,
+            forward: self.forward.clone(),
+            actions: self
+                .actions
+                .iter()
+                .map(|a| match a {
+                    Action::Fix { var, value } => PresolveAction::Fix {
+                        var: *var,
+                        value: *value,
+                    },
+                    Action::Substitute {
+                        var,
+                        coeff,
+                        rhs,
+                        terms,
+                        lb,
+                        ub,
+                    } => PresolveAction::Substitute {
+                        var: *var,
+                        coeff: *coeff,
+                        rhs: *rhs,
+                        terms: terms.clone(),
+                        lb: *lb,
+                        ub: *ub,
+                    },
+                })
+                .collect(),
+        }
+    }
+
     /// Lifts a reduced-model assignment to the original variable space.
     ///
     /// # Panics

@@ -151,6 +151,35 @@ impl LpSolution {
     }
 }
 
+/// Proof artifact of a single LP solve, emitted when certification is
+/// enabled via [`SimplexEngine::set_certify`] and re-checkable in exact
+/// rational arithmetic by [`crate::certify::certify_lp`].
+///
+/// The multipliers are sign-clamped per row operator (`≤` rows get
+/// `y ≤ 0`, `≥` rows `y ≥ 0`) so that the vector is valid dual evidence
+/// by construction; the clamp only discards sub-tolerance float noise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpCertificate {
+    /// Optimality evidence: the final primal point plus the simplex
+    /// multipliers `y = B⁻ᵀc_B`, whose exact Lagrangian bound matches
+    /// the primal objective.
+    Optimal {
+        /// Row multipliers (one per constraint).
+        duals: Vec<f64>,
+        /// The reported primal point (structural variables).
+        x: Vec<f64>,
+        /// The reported objective `c·x` (internal minimisation form).
+        objective: f64,
+    },
+    /// Infeasibility evidence: a Farkas ray from the phase-1 optimum —
+    /// row multipliers whose aggregated constraint no point in the
+    /// variable box can satisfy.
+    Infeasible {
+        /// Farkas row multipliers (one per constraint).
+        farkas: Vec<f64>,
+    },
+}
+
 /// An opaque basis snapshot from a successful solve, reusable as a warm
 /// start for a related solve (same matrix, different bounds) — the
 /// branch-and-bound access pattern. A stale or inconsistent snapshot is
@@ -360,6 +389,10 @@ pub struct SimplexEngine<'a> {
     touched: Vec<usize>,
     iterations: usize,
     total_degen: usize,
+    /// When set, terminal verdicts also record an [`LpCertificate`].
+    certify: bool,
+    /// Certificate of the most recent solve (taken by the caller).
+    certificate: Option<LpCertificate>,
 }
 
 impl std::fmt::Debug for SimplexEngine<'_> {
@@ -411,7 +444,53 @@ impl<'a> SimplexEngine<'a> {
             touched: Vec::new(),
             iterations: 0,
             total_degen: 0,
+            certify: false,
+            certificate: None,
         }
+    }
+
+    /// Enables or disables proof logging: when on, every
+    /// [`LpStatus::Optimal`] or [`LpStatus::Infeasible`] verdict of
+    /// [`solve`](Self::solve) leaves an [`LpCertificate`] behind for
+    /// [`take_certificate`](Self::take_certificate).
+    pub fn set_certify(&mut self, on: bool) {
+        self.certify = on;
+    }
+
+    /// Takes the certificate of the most recent solve, if one was
+    /// emitted. The slot is cleared at the start of every solve, so a
+    /// leftover certificate never describes a stale verdict.
+    pub fn take_certificate(&mut self) -> Option<LpCertificate> {
+        self.certificate.take()
+    }
+
+    /// The current simplex multipliers `y = B⁻ᵀc_B` for the phase-1
+    /// violation costs or the phase-2 objective, sign-clamped per row
+    /// operator so the vector is valid dual evidence by construction.
+    fn certificate_multipliers(&mut self, phase1: bool) -> Vec<f64> {
+        let mut y = vec![0.0; self.m];
+        for (p, &v) in self.basis.iter().enumerate() {
+            y[p] = if phase1 {
+                if self.x[v] < self.lower[v] - FEAS_TOL {
+                    -1.0
+                } else if self.x[v] > self.upper[v] + FEAS_TOL {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                self.cost[v]
+            };
+        }
+        self.btran(&mut y);
+        for (i, op) in self.lp.ops.iter().enumerate() {
+            match op {
+                ConstraintOp::Leq => y[i] = y[i].min(0.0),
+                ConstraintOp::Geq => y[i] = y[i].max(0.0),
+                ConstraintOp::Eq => {}
+            }
+        }
+        y
     }
 
     /// Solves under the given bounds, optionally warm-starting from a
@@ -436,6 +515,7 @@ impl<'a> SimplexEngine<'a> {
             lower_s.iter().all(|l| l.is_finite()),
             "lower bounds must be finite"
         );
+        self.certificate = None;
         // An empty variable domain (branch-and-bound can produce one when
         // tightening bounds) makes the whole LP infeasible; the pivot
         // machinery assumes lower <= upper everywhere, so answer here.
@@ -488,6 +568,10 @@ impl<'a> SimplexEngine<'a> {
                         }
                         continue;
                     }
+                    if self.certify {
+                        let farkas = self.certificate_multipliers(true);
+                        self.certificate = Some(LpCertificate::Infeasible { farkas });
+                    }
                     return (
                         LpSolution::failed(LpStatus::Infeasible, n, self.iterations),
                         None,
@@ -517,6 +601,14 @@ impl<'a> SimplexEngine<'a> {
 
         let x: Vec<f64> = self.x[..n].to_vec();
         let objective = self.lp.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
+        if self.certify {
+            let duals = self.certificate_multipliers(false);
+            self.certificate = Some(LpCertificate::Optimal {
+                duals,
+                x: x.clone(),
+                objective,
+            });
+        }
         let snapshot = Basis {
             basis: self.basis.clone(),
             at_upper: self.stat.iter().map(|&s| s == VStat::AtUpper).collect(),

@@ -87,11 +87,25 @@ impl Solution {
     /// Value of `v` rounded to the nearest integer — use for integer and
     /// binary variables.
     ///
+    /// In debug builds this asserts the stored value is within
+    /// integrality tolerance (`1e-6`) of the returned integer, so a call
+    /// on a genuinely fractional (continuous) value fails loudly instead
+    /// of silently rounding.
+    ///
     /// # Panics
     ///
-    /// Panics if `v` does not belong to the solved model.
+    /// Panics if `v` does not belong to the solved model, or (debug
+    /// builds only) if the stored value is more than `1e-6` away from
+    /// the nearest integer.
     pub fn value_int(&self, v: VarId) -> i64 {
-        self.values[v.index()].round() as i64
+        let raw = self.values[v.index()];
+        let nearest = raw.round();
+        debug_assert!(
+            (raw - nearest).abs() <= 1e-6,
+            "value_int on a fractional value: variable {} holds {raw}",
+            v.index()
+        );
+        nearest as i64
     }
 
     /// `true` when binary/integer variable `v` rounds to a non-zero value.
@@ -118,11 +132,44 @@ pub struct MilpOutcome {
     pub best: Option<Solution>,
     /// Search statistics.
     pub stats: SolveStats,
+    /// Proof log of the run, present when
+    /// [`MilpOptions::certificate`](crate::MilpOptions) was enabled and
+    /// the verdict is certifiable (everything except `Unbounded`).
+    /// Re-verify with [`crate::certify::certify_outcome`].
+    pub certificate: Option<crate::certify::MilpCertificate>,
 }
 
 impl MilpOutcome {
     /// `true` when the status proves optimality.
     pub fn is_optimal(&self) -> bool {
         self.status == SolveStatus::Optimal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solution(values: Vec<f64>) -> Solution {
+        Solution {
+            objective: 0.0,
+            values,
+        }
+    }
+
+    #[test]
+    fn value_int_rounds_near_integers() {
+        let s = solution(vec![0.9999995, 2.0000004, -3.0000001]);
+        assert_eq!(s.value_int(VarId(0)), 1);
+        assert_eq!(s.value_int(VarId(1)), 2);
+        assert_eq!(s.value_int(VarId(2)), -3);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "value_int on a fractional value")]
+    fn value_int_rejects_fractional_values() {
+        let s = solution(vec![0.4]);
+        let _ = s.value_int(VarId(0));
     }
 }
