@@ -1,4 +1,4 @@
-//! Ablation studies on the design choices DESIGN.md calls out:
+//! Ablation studies on the pipeline's main design choices:
 //!
 //! 1. **Path engine**: hierarchical (band) vs direct greedy vs exact ILP —
 //!    vector counts and runtimes across array sizes (the trade-off behind
@@ -11,7 +11,9 @@
 //!
 //! Run with `cargo run --release -p fpva-bench --bin ablation`. Pass
 //! `--threads N` to spread the pairwise two-fault sweep over N workers
-//! (default: one per CPU; the report is identical for every count).
+//! (default: one per CPU; the report is identical for every count) and
+//! `--kernel scalar|bit` to pick the simulation kernel the coverage
+//! audits run on (default: bit-parallel; the reports are identical).
 
 use fpva_atpg::ilp_model::{min_path_cover_ilp_with_stats, PathIlpConfig};
 use fpva_atpg::{Atpg, AtpgConfig, PathEngine};
@@ -122,7 +124,7 @@ fn main() {
         let plan = Atpg::new().generate(&entry.fpva).expect("valid layout");
         let suite = plan.to_suite(&entry.fpva);
         let report = if entry.fpva.valve_count() <= 200 {
-            audit::two_fault_audit(&entry.fpva, &suite, args.threads)
+            audit::two_fault_audit_with(&entry.fpva, &suite, args.threads, args.kernel)
         } else {
             audit::two_fault_audit_sampled(&entry.fpva, &suite, 20_000, 7)
         };
@@ -144,8 +146,10 @@ fn main() {
         })
         .generate(&entry.fpva)
         .expect("valid layout");
-        let cov_with = audit::leak_coverage(&entry.fpva, &with.to_suite(&entry.fpva));
-        let cov_without = audit::leak_coverage(&entry.fpva, &without.to_suite(&entry.fpva));
+        let cov_with =
+            audit::leak_coverage_with(&entry.fpva, &with.to_suite(&entry.fpva), args.kernel);
+        let cov_without =
+            audit::leak_coverage_with(&entry.fpva, &without.to_suite(&entry.fpva), args.kernel);
         println!(
             "{:<8}: with n_l={} -> {} | without -> {}",
             entry.name,

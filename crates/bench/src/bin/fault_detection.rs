@@ -4,9 +4,10 @@
 //! were captured).
 //!
 //! Run with `cargo run --release -p fpva-bench --bin fault_detection`.
-//! Flags: `--trials N` (default 10 000; a bare number also works) and
-//! `--threads N` (default: one worker per CPU; results are identical for
-//! every thread count).
+//! Flags: `--trials N` (default 10 000; a bare number also works),
+//! `--threads N` (default: one worker per CPU) and `--kernel scalar|bit`
+//! (default: bit-parallel). Results are identical for every thread count
+//! and kernel choice — only the runtime differs.
 
 use fpva_bench::{percent_or_na, plan_table1_with, CliArgs};
 use fpva_sim::campaign::{self, CampaignConfig};
@@ -16,8 +17,9 @@ fn main() {
     let args = CliArgs::parse();
     let trials = args.trials.unwrap_or(10_000);
     println!(
-        "Section IV experiment — {trials} random injections per fault count, {} worker(s)",
-        exec::resolve_threads(args.threads)
+        "Section IV experiment — {trials} random injections per fault count, {} worker(s), {:?} kernel",
+        exec::resolve_threads(args.threads),
+        args.kernel
     );
     println!(
         "{:<8} {:>6} {:>4} | {:>10} {:>10} {:>10} {:>10} {:>10}",
@@ -29,6 +31,7 @@ fn main() {
         let config = CampaignConfig {
             trials,
             threads: args.threads,
+            kernel: args.kernel,
             ..Default::default()
         };
         let rows = campaign::run(&e.fpva, &suite, &config);

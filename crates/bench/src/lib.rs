@@ -4,6 +4,7 @@
 use fpva_atpg::{Atpg, TestPlan};
 use fpva_grid::layouts::Table1Entry;
 use fpva_grid::Fpva;
+use fpva_sim::SimKernel;
 
 pub mod lint;
 
@@ -80,6 +81,10 @@ pub struct CliArgs {
     pub trials: Option<usize>,
     /// `--threads N`; `0` (the default) means one worker per CPU.
     pub threads: usize,
+    /// `--kernel scalar|bit`; selects the simulation kernel (default:
+    /// the bit-parallel one). Results are identical either way — the
+    /// flag exists for timing comparisons against the scalar oracle.
+    pub kernel: SimKernel,
 }
 
 impl CliArgs {
@@ -116,6 +121,19 @@ impl CliArgs {
                         _ => out.threads = n,
                     }
                 }
+                "--kernel" => {
+                    let raw = match inline {
+                        Some(v) => v.to_string(),
+                        None => args
+                            .next()
+                            .ok_or_else(|| format!("{flag} expects a value"))?,
+                    };
+                    out.kernel = match raw.as_str() {
+                        "scalar" => SimKernel::Scalar,
+                        "bit" | "bit-parallel" => SimKernel::BitParallel,
+                        _ => return Err(format!("{flag} expects `scalar` or `bit`, got `{raw}`")),
+                    };
+                }
                 other => match other.parse() {
                     // Bare positional number: the original `fault_detection`
                     // trial-count invocation, kept for compatibility.
@@ -132,7 +150,10 @@ impl CliArgs {
     pub fn parse() -> Self {
         Self::parse_from(std::env::args().skip(1)).unwrap_or_else(|msg| {
             eprintln!("error: {msg}");
-            eprintln!("usage: [--trials N] [--threads N]   (N numeric; --threads 0 = all CPUs)");
+            eprintln!(
+                "usage: [--trials N] [--threads N] [--kernel scalar|bit]   \
+                 (N numeric; --threads 0 = all CPUs)"
+            );
             std::process::exit(2);
         })
     }
@@ -170,24 +191,43 @@ mod tests {
             args(&["--trials", "500", "--threads", "4"]),
             Ok(CliArgs {
                 trials: Some(500),
-                threads: 4
+                threads: 4,
+                ..Default::default()
             })
         );
         assert_eq!(
             args(&["--trials=500", "--threads=4"]),
             Ok(CliArgs {
                 trials: Some(500),
-                threads: 4
+                threads: 4,
+                ..Default::default()
             })
         );
         assert_eq!(
             args(&["1000"]),
             Ok(CliArgs {
                 trials: Some(1000),
-                threads: 0
+                ..Default::default()
             })
         );
         assert_eq!(args(&[]), Ok(CliArgs::default()));
+    }
+
+    #[test]
+    fn cli_args_select_the_kernel() {
+        let args =
+            |list: &[&str]| CliArgs::parse_from(list.iter().map(std::string::ToString::to_string));
+        assert_eq!(args(&[]).unwrap().kernel, SimKernel::BitParallel);
+        assert_eq!(
+            args(&["--kernel", "scalar"]).unwrap().kernel,
+            SimKernel::Scalar
+        );
+        assert_eq!(
+            args(&["--kernel=bit"]).unwrap().kernel,
+            SimKernel::BitParallel
+        );
+        assert!(args(&["--kernel", "simd"]).is_err());
+        assert!(args(&["--kernel"]).is_err());
     }
 
     #[test]

@@ -345,9 +345,10 @@ enum Ratio {
 
 /// Reusable revised-simplex state over one [`SparseLp`].
 ///
-/// The engine owns the factorization (eta file), pricing weights and all
-/// scratch buffers, so a sequence of related solves — branch-and-bound
-/// nodes — pays the setup cost once. When a solve is warm-started from
+/// The engine owns the factorization (a sparse LU of the basis, updated
+/// in place by [`lu`](crate::lu) Forrest–Tomlin rank-one replacements),
+/// pricing weights and all scratch buffers, so a sequence of related
+/// solves — branch-and-bound nodes — pays the setup cost once. When a solve is warm-started from
 /// the basis the engine already holds (the common case: a DFS child
 /// popped right after its parent), the factorization is reused as-is and
 /// only the basic values are recomputed under the new bounds.

@@ -9,6 +9,7 @@
 //! sweep is quadratic in the valve count, so it runs on the same scoped
 //! worker pool ([`crate::exec`]) as the campaign.
 
+use crate::bitsim::{BitSimulator, KernelStats, LoweredChip, SimKernel, LANES};
 use crate::exec;
 use crate::fault::{Fault, FaultSet};
 use crate::suite::TestSuite;
@@ -23,6 +24,10 @@ pub struct CoverageReport<F> {
     pub total: usize,
     /// The ones no vector detected.
     pub undetected: Vec<F>,
+    /// Work counters of the kernel that ran the sweep. Identical across
+    /// thread counts (but not across kernels — that is the point of the
+    /// counters); `total`/`undetected` are identical across both.
+    pub stats: KernelStats,
 }
 
 impl<F> CoverageReport<F> {
@@ -43,38 +48,100 @@ impl<F> CoverageReport<F> {
     }
 }
 
-/// Checks every single stuck-at-0 and stuck-at-1 fault.
+/// Checks every single stuck-at-0 and stuck-at-1 fault, on the default
+/// (bit-parallel) kernel.
 pub fn single_fault_coverage(fpva: &Fpva, suite: &TestSuite) -> CoverageReport<Fault> {
-    let mut undetected = Vec::new();
-    let mut total = 0usize;
-    for (v, _) in fpva.valves() {
-        for fault in [Fault::StuckAt0(v), Fault::StuckAt1(v)] {
-            total += 1;
-            let set = FaultSet::try_from_faults(vec![fault]).expect("single fault is valid");
-            if !suite.detects(fpva, &set) {
-                undetected.push(fault);
-            }
-        }
-    }
-    CoverageReport { total, undetected }
+    single_fault_coverage_with(fpva, suite, SimKernel::default())
+}
+
+/// [`single_fault_coverage`] on an explicit kernel. `total`/`undetected`
+/// are identical for both kernels; the scalar path is the differential
+/// oracle.
+pub fn single_fault_coverage_with(
+    fpva: &Fpva,
+    suite: &TestSuite,
+    kernel: SimKernel,
+) -> CoverageReport<Fault> {
+    let universe: Vec<Fault> = fpva
+        .valves()
+        .flat_map(|(v, _)| [Fault::StuckAt0(v), Fault::StuckAt1(v)])
+        .collect();
+    sweep_universe(fpva, suite, kernel, universe)
 }
 
 /// Checks every control-leak fault between physically adjacent valves
-/// (ordered pairs: the leak direction matters).
+/// (ordered pairs: the leak direction matters), on the default
+/// (bit-parallel) kernel.
 pub fn leak_coverage(fpva: &Fpva, suite: &TestSuite) -> CoverageReport<Fault> {
+    leak_coverage_with(fpva, suite, SimKernel::default())
+}
+
+/// [`leak_coverage`] on an explicit kernel.
+pub fn leak_coverage_with(
+    fpva: &Fpva,
+    suite: &TestSuite,
+    kernel: SimKernel,
+) -> CoverageReport<Fault> {
+    let universe: Vec<Fault> = fpva
+        .valves()
+        .flat_map(|(actuator, _)| {
+            fpva.valve_neighbors(actuator)
+                .into_iter()
+                .map(move |victim| Fault::ControlLeak { actuator, victim })
+        })
+        .collect();
+    sweep_universe(fpva, suite, kernel, universe)
+}
+
+/// Serial sweep over an explicit single-fault universe: scalar per-fault
+/// detection, or [`LANES`] faults per word on the bit-parallel kernel.
+fn sweep_universe(
+    fpva: &Fpva,
+    suite: &TestSuite,
+    kernel: SimKernel,
+    universe: Vec<Fault>,
+) -> CoverageReport<Fault> {
+    let total = universe.len();
     let mut undetected = Vec::new();
-    let mut total = 0usize;
-    for (actuator, _) in fpva.valves() {
-        for victim in fpva.valve_neighbors(actuator) {
-            total += 1;
-            let fault = Fault::ControlLeak { actuator, victim };
-            let set = FaultSet::try_from_faults(vec![fault]).expect("leak pair is valid");
-            if !suite.detects(fpva, &set) {
-                undetected.push(fault);
+    let mut stats = KernelStats::default();
+    match kernel {
+        SimKernel::Scalar => {
+            for fault in universe {
+                let set = FaultSet::try_from_faults(vec![fault]).expect("single fault is valid");
+                match suite.first_detecting_vector(fpva, &set) {
+                    Some(ix) => stats.scalar_passes += ix + 1,
+                    None => {
+                        stats.scalar_passes += suite.len();
+                        undetected.push(fault);
+                    }
+                }
             }
         }
+        SimKernel::BitParallel => {
+            let chip = LoweredChip::build(fpva);
+            let mut sim = BitSimulator::new(&chip);
+            for block in universe.chunks(LANES) {
+                let sets: Vec<FaultSet> = block
+                    .iter()
+                    .map(|&fault| {
+                        FaultSet::try_from_faults(vec![fault]).expect("single fault is valid")
+                    })
+                    .collect();
+                let mask = sim.detect_block(suite, &sets);
+                for (lane, &fault) in block.iter().enumerate() {
+                    if mask >> lane & 1 == 0 {
+                        undetected.push(fault);
+                    }
+                }
+            }
+            stats = sim.stats();
+        }
     }
-    CoverageReport { total, undetected }
+    CoverageReport {
+        total,
+        undetected,
+        stats,
+    }
 }
 
 /// Ordered pairs per work chunk of [`two_fault_audit`]. Fixed so the chunk
@@ -85,38 +152,98 @@ const PAIR_CHUNK: usize = 512;
 /// Checks every (stuck-at-0, stuck-at-1) pair on distinct valves — the
 /// mutual-masking scenario of the paper's Fig. 5(c)/(d) — spreading the
 /// O(n_v²) sweep over `threads` workers (`1` = serial on the calling
-/// thread, `0` = all CPUs). The report is identical for every thread
-/// count, with `undetected` in the serial scan order (outer stuck-at-0
-/// valve, inner stuck-at-1 valve). Exhaustive even on the large arrays
-/// given enough threads; [`two_fault_audit_sampled`] remains the cheap
-/// alternative.
+/// thread, `0` = all CPUs), on the default (bit-parallel) kernel. The
+/// report is identical for every thread count, with `undetected` in the
+/// serial scan order (outer stuck-at-0 valve, inner stuck-at-1 valve).
+/// Exhaustive even on the large arrays given enough threads;
+/// [`two_fault_audit_sampled`] remains the cheap alternative.
 pub fn two_fault_audit(
     fpva: &Fpva,
     suite: &TestSuite,
     threads: usize,
 ) -> CoverageReport<(Fault, Fault)> {
+    two_fault_audit_with(fpva, suite, threads, SimKernel::default())
+}
+
+/// [`two_fault_audit`] on an explicit kernel. `total`/`undetected` are
+/// identical for both kernels; the bit-parallel one packs [`LANES`]
+/// consecutive pairs of the scan order per word (the pair-chunk size is a
+/// multiple of [`LANES`], so only a chunk's trailing block can be
+/// partial).
+pub fn two_fault_audit_with(
+    fpva: &Fpva,
+    suite: &TestSuite,
+    threads: usize,
+    kernel: SimKernel,
+) -> CoverageReport<(Fault, Fault)> {
     let nv = fpva.valve_count();
     let total = nv * nv.saturating_sub(1);
+    // Pair index -> (a, b), b skipping the diagonal; matches the nested
+    // `for a { for b }` scan order.
+    let pair_at = |p: usize| {
+        let a = p / (nv - 1);
+        let r = p % (nv - 1);
+        let b = if r >= a { r + 1 } else { r };
+        (Fault::StuckAt0(ValveId(a)), Fault::StuckAt1(ValveId(b)))
+    };
+    let lowered = (kernel == SimKernel::BitParallel && total > 0).then(|| LoweredChip::build(fpva));
     let chunks = exec::run_chunked(threads, total, PAIR_CHUNK, |pairs| {
+        let mut stats = KernelStats::default();
         let mut undetected = Vec::new();
-        for p in pairs {
-            // Pair index -> (a, b), b skipping the diagonal; matches the
-            // nested `for a { for b }` scan order.
-            let a = p / (nv - 1);
-            let r = p % (nv - 1);
-            let b = if r >= a { r + 1 } else { r };
-            let pair = (Fault::StuckAt0(ValveId(a)), Fault::StuckAt1(ValveId(b)));
-            let set = FaultSet::try_from_faults(vec![pair.0, pair.1])
-                .expect("distinct valves cannot conflict");
-            if !suite.detects(fpva, &set) {
-                undetected.push(pair);
+        match &lowered {
+            Some(chip) => {
+                let mut sim = BitSimulator::new(chip);
+                let mut block_pairs = Vec::with_capacity(LANES);
+                let mut sets = Vec::with_capacity(LANES);
+                let mut p = pairs.start;
+                while p < pairs.end {
+                    block_pairs.clear();
+                    sets.clear();
+                    for q in p..pairs.end.min(p + LANES) {
+                        let pair = pair_at(q);
+                        block_pairs.push(pair);
+                        sets.push(
+                            FaultSet::try_from_faults(vec![pair.0, pair.1])
+                                .expect("distinct valves cannot conflict"),
+                        );
+                    }
+                    let mask = sim.detect_block(suite, &sets);
+                    for (lane, &pair) in block_pairs.iter().enumerate() {
+                        if mask >> lane & 1 == 0 {
+                            undetected.push(pair);
+                        }
+                    }
+                    p += LANES;
+                }
+                stats = sim.stats();
+            }
+            None => {
+                for p in pairs {
+                    let pair = pair_at(p);
+                    let set = FaultSet::try_from_faults(vec![pair.0, pair.1])
+                        .expect("distinct valves cannot conflict");
+                    match suite.first_detecting_vector(fpva, &set) {
+                        Some(ix) => stats.scalar_passes += ix + 1,
+                        None => {
+                            stats.scalar_passes += suite.len();
+                            undetected.push(pair);
+                        }
+                    }
+                }
             }
         }
-        undetected
+        (undetected, stats)
     });
+    let mut undetected = Vec::new();
+    let mut stats = KernelStats::default();
+    for (chunk_undetected, chunk_stats) in chunks {
+        undetected.extend(chunk_undetected);
+        stats.merge(&chunk_stats);
+    }
     CoverageReport {
         total,
-        undetected: chunks.concat(),
+        undetected,
+        stats,
     }
 }
 
@@ -136,6 +263,7 @@ pub fn two_fault_audit_sampled(
     assert!(nv >= 2, "two-fault audit needs at least two valves");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut undetected = Vec::new();
+    let mut stats = KernelStats::default();
     for _ in 0..samples {
         let a = ValveId(rng.gen_range(0..nv));
         let b = loop {
@@ -147,13 +275,18 @@ pub fn two_fault_audit_sampled(
         let pair = (Fault::StuckAt0(a), Fault::StuckAt1(b));
         let set = FaultSet::try_from_faults(vec![pair.0, pair.1])
             .expect("distinct valves cannot conflict");
-        if !suite.detects(fpva, &set) {
-            undetected.push(pair);
+        match suite.first_detecting_vector(fpva, &set) {
+            Some(ix) => stats.scalar_passes += ix + 1,
+            None => {
+                stats.scalar_passes += suite.len();
+                undetected.push(pair);
+            }
         }
     }
     CoverageReport {
         total: samples,
         undetected,
+        stats,
     }
 }
 
@@ -293,8 +426,41 @@ mod tests {
         let report: CoverageReport<Fault> = CoverageReport {
             total: 0,
             undetected: vec![],
+            stats: KernelStats::default(),
         };
         assert_eq!(report.coverage(), None);
         assert!(report.is_complete());
+    }
+
+    /// Every audit, bit-parallel vs the scalar oracle: identical verdicts.
+    #[test]
+    fn audits_agree_across_kernels() {
+        let f = line4();
+        for suite in [
+            complete_suite(&f),
+            TestSuite::new(&f, vec![TestVector::all_open(f.valve_count())]),
+            TestSuite::new(&f, vec![TestVector::all_closed(f.valve_count())]),
+            TestSuite::new(&f, vec![]),
+        ] {
+            for (bit, scalar) in [
+                (
+                    single_fault_coverage_with(&f, &suite, SimKernel::BitParallel),
+                    single_fault_coverage_with(&f, &suite, SimKernel::Scalar),
+                ),
+                (
+                    leak_coverage_with(&f, &suite, SimKernel::BitParallel),
+                    leak_coverage_with(&f, &suite, SimKernel::Scalar),
+                ),
+            ] {
+                assert_eq!(bit.total, scalar.total);
+                assert_eq!(bit.undetected, scalar.undetected);
+                assert_eq!(bit.stats.scalar_passes, 0);
+                assert_eq!(scalar.stats.blocks, 0);
+            }
+            let bit = two_fault_audit_with(&f, &suite, 2, SimKernel::BitParallel);
+            let scalar = two_fault_audit_with(&f, &suite, 2, SimKernel::Scalar);
+            assert_eq!(bit.total, scalar.total);
+            assert_eq!(bit.undetected, scalar.undetected);
+        }
     }
 }

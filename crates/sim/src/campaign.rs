@@ -10,6 +10,9 @@
 //! pure function of `(chip, suite, config)` — independent of thread count,
 //! trial order and the order of [`CampaignConfig::fault_counts`].
 
+use crate::bitsim::{
+    BitFrontier, BitSimulator, KernelStats, LaneSet, LoweredChip, SimKernel, LANES,
+};
 use crate::exec;
 use crate::fault::{Fault, FaultSet};
 use crate::suite::TestSuite;
@@ -112,18 +115,54 @@ impl ObservableLeaks {
         Self::par_build(fpva, 1)
     }
 
-    /// Like [`ObservableLeaks::build`], with the per-actuator scans spread
-    /// over `threads` workers (`0` = all CPUs). The resulting table is
-    /// identical for every thread count.
+    /// Like [`ObservableLeaks::build`], with the candidate-pair probes
+    /// spread over `threads` workers (`0` = all CPUs). The resulting table
+    /// is identical for every thread count.
     pub fn par_build(fpva: &Fpva, threads: usize) -> Self {
-        const ACTUATOR_CHUNK: usize = 64;
-        let nv = fpva.valve_count();
-        let chunks = exec::run_chunked(threads, nv, ACTUATOR_CHUNK, |range| {
+        Self::par_build_lowered(fpva, threads, &LoweredChip::build(fpva))
+    }
+
+    /// [`ObservableLeaks::par_build`] over an already-lowered chip, so a
+    /// caller holding a [`ChipContext`]-style precomputation does not
+    /// lower twice.
+    ///
+    /// The probes run on the bit-parallel kernel: [`LANES`] candidate
+    /// pairs share one word, and two full-flood passes (forward from the
+    /// sources, backward from the sinks) replace the per-pair goal-directed
+    /// BFS of [`leak_is_observable`] — which stays as the scalar oracle,
+    /// pinned equal by the unit tests. Undirected reachability makes the
+    /// two formulations coincide: a pair is observable exactly when the
+    /// sources reach one victim endpoint and the sinks reach the other.
+    pub(crate) fn par_build_lowered(fpva: &Fpva, threads: usize, chip: &LoweredChip) -> Self {
+        const PAIR_CHUNK: usize = 4 * LANES;
+        let candidates: Vec<(ValveId, ValveId)> = fpva
+            .valves()
+            .flat_map(|(actuator, _)| {
+                fpva.valve_neighbors(actuator)
+                    .into_iter()
+                    .map(move |victim| (actuator, victim))
+            })
+            .collect();
+        let chunks = exec::run_chunked(threads, candidates.len(), PAIR_CHUNK, |range| {
+            let mut fwd = BitFrontier::new(chip.cell_count());
+            let mut bwd = BitFrontier::new(chip.cell_count());
+            let mut open = LaneSet::zeros(chip.valve_count());
             let mut pairs = Vec::new();
-            for a in range {
-                let actuator = ValveId(a);
-                for victim in fpva.valve_neighbors(actuator) {
-                    if leak_is_observable(fpva, actuator, victim) {
+            for block in candidates[range].chunks(LANES) {
+                // Lane l: actuator and victim closed, everything else open.
+                open.broadcast(|_| true);
+                for (lane, &(actuator, victim)) in block.iter().enumerate() {
+                    open.clear_lane(actuator.index(), lane);
+                    open.clear_lane(victim.index(), lane);
+                }
+                fwd.propagate(chip, &open);
+                bwd.propagate_from(chip, chip.sink_cells(), &open);
+                for (lane, &(actuator, victim)) in block.iter().enumerate() {
+                    let (u, w) = fpva.edge_of(victim).endpoints();
+                    let (ui, wi) = (fpva.cell_index(u), fpva.cell_index(w));
+                    let observable = (fwd.reached().lane(ui, lane) && bwd.reached().lane(wi, lane))
+                        || (fwd.reached().lane(wi, lane) && bwd.reached().lane(ui, lane));
+                    if observable {
                         pairs.push((actuator, victim));
                     }
                 }
@@ -203,8 +242,11 @@ pub fn trial_seed(seed: u64, fault_count: usize, trial: usize) -> u64 {
 /// depends only on its own fault count (trial `i` of fault count `k` uses
 /// the RNG seeded by [`trial_seed`]`(seed, k, i)`). In particular the
 /// results do **not** change with [`CampaignConfig::threads`], with the
-/// ordering of `fault_counts`, or when `fault_counts` is subset — only the
-/// row for a given fault count matters, byte for byte.
+/// ordering of `fault_counts`, when `fault_counts` is subset, or with the
+/// [`CampaignConfig::kernel`] — the bit-parallel kernel packs trials into
+/// lanes but derives each trial's faults from the same per-trial RNG and
+/// evaluates the same detection predicate, so rows match the scalar
+/// oracle byte for byte.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
     /// Trials per fault count (the paper uses 10 000).
@@ -220,6 +262,9 @@ pub struct CampaignConfig {
     /// thread, `0` uses one worker per available CPU. Results are
     /// identical for every value (see the determinism contract above).
     pub threads: usize,
+    /// Simulation kernel: the word-parallel bitset BFS (default) or the
+    /// scalar per-trial BFS oracle. Rows are identical either way.
+    pub kernel: SimKernel,
 }
 
 impl Default for CampaignConfig {
@@ -230,7 +275,45 @@ impl Default for CampaignConfig {
             seed: 0xF97A_2017,
             include_control_leaks: true,
             threads: 1,
+            kernel: SimKernel::default(),
         }
+    }
+}
+
+/// Per-chip precomputed campaign state: the observable-leak table and the
+/// bit-parallel lowered adjacency, built **once** per chip and shared
+/// read-only by any number of [`run_in`] calls (and their workers). A
+/// campaign service re-running suites against the same chip should build
+/// this once instead of paying the per-[`run`] setup each time.
+#[derive(Debug, Clone)]
+pub struct ChipContext {
+    leaks: ObservableLeaks,
+    lowered: LoweredChip,
+}
+
+impl ChipContext {
+    /// Builds the context serially; see [`ChipContext::par_build`].
+    pub fn build(fpva: &Fpva) -> Self {
+        Self::par_build(fpva, 1)
+    }
+
+    /// Builds the context with the leak-table probes spread over
+    /// `threads` workers (`0` = all CPUs); the result is identical for
+    /// every thread count.
+    pub fn par_build(fpva: &Fpva, threads: usize) -> Self {
+        let lowered = LoweredChip::build(fpva);
+        let leaks = ObservableLeaks::par_build_lowered(fpva, threads, &lowered);
+        ChipContext { leaks, lowered }
+    }
+
+    /// The chip's observable control-leak table.
+    pub fn leaks(&self) -> &ObservableLeaks {
+        &self.leaks
+    }
+
+    /// The chip's adjacency, lowered for the bit-parallel kernel.
+    pub fn lowered(&self) -> &LoweredChip {
+        &self.lowered
     }
 }
 
@@ -373,43 +456,133 @@ pub fn random_fault_set_from(
 /// Panics if the array has no valves, or if a row's fault count exceeds
 /// the chip's distinct-fault capacity (see [`random_fault_set_from`]).
 pub fn run(fpva: &Fpva, suite: &TestSuite, config: &CampaignConfig) -> Vec<CampaignRow> {
-    // The table's per-pair BFS sweep is pure overhead when no trial will
-    // ever draw from it.
+    run_with_stats(fpva, suite, config).0
+}
+
+/// [`run`], additionally reporting the kernel's work counters (blocks,
+/// word-parallel and scalar BFS passes) summed over all rows. The stats,
+/// like the rows, are identical for every thread count.
+pub fn run_with_stats(
+    fpva: &Fpva,
+    suite: &TestSuite,
+    config: &CampaignConfig,
+) -> (Vec<CampaignRow>, KernelStats) {
+    // The leak table's pair sweep and the adjacency lowering are pure
+    // overhead when no trial will ever use them.
     let draws_faults = config.trials > 0 && !config.fault_counts.is_empty();
     let leaks = (config.include_control_leaks && draws_faults)
         .then(|| ObservableLeaks::par_build(fpva, config.threads));
-    config
-        .fault_counts
-        .iter()
-        .map(|&fault_count| run_row(fpva, suite, config, leaks.as_ref(), fault_count))
-        .collect()
+    let lowered =
+        (config.kernel == SimKernel::BitParallel && draws_faults).then(|| LoweredChip::build(fpva));
+    run_inner(fpva, suite, config, leaks.as_ref(), lowered.as_ref())
 }
 
-/// Trials per work chunk. Fixed (not derived from the thread count) so the
-/// chunk decomposition itself is deterministic; small enough that the pool
-/// load-balances even on slow chips, large enough to amortise dispatch.
+/// [`run_with_stats`] against a pre-built [`ChipContext`], skipping the
+/// per-run leak-table and adjacency-lowering setup entirely — the
+/// entry point for repeated campaigns over one chip (and for benchmarks
+/// that want to time the simulation kernel, not the setup).
+pub fn run_in(
+    fpva: &Fpva,
+    suite: &TestSuite,
+    config: &CampaignConfig,
+    ctx: &ChipContext,
+) -> (Vec<CampaignRow>, KernelStats) {
+    let leaks = config.include_control_leaks.then(|| ctx.leaks());
+    run_inner(fpva, suite, config, leaks, Some(ctx.lowered()))
+}
+
+fn run_inner(
+    fpva: &Fpva,
+    suite: &TestSuite,
+    config: &CampaignConfig,
+    leaks: Option<&ObservableLeaks>,
+    lowered: Option<&LoweredChip>,
+) -> (Vec<CampaignRow>, KernelStats) {
+    let mut stats = KernelStats::default();
+    let rows = config
+        .fault_counts
+        .iter()
+        .map(|&fault_count| {
+            let (row, row_stats) = run_row(fpva, suite, config, leaks, lowered, fault_count);
+            stats.merge(&row_stats);
+            row
+        })
+        .collect();
+    (rows, stats)
+}
+
+/// Trials per work chunk of the scalar kernel. Fixed (not derived from the
+/// thread count) so the chunk decomposition itself is deterministic; small
+/// enough that the pool load-balances even on slow chips, large enough to
+/// amortise dispatch.
 const TRIAL_CHUNK: usize = 32;
+
+/// Trials per work chunk of the bit-parallel kernel: a multiple of
+/// [`LANES`] so every block but a chunk's (and the row's) last is fully
+/// packed. The decomposition still never affects the rows — detection is
+/// per-trial and escapes merge in trial order — which the lane-packing
+/// differential tests pin down.
+const TRIAL_CHUNK_BITS: usize = 2 * LANES;
 
 fn run_row(
     fpva: &Fpva,
     suite: &TestSuite,
     config: &CampaignConfig,
     leaks: Option<&ObservableLeaks>,
+    lowered: Option<&LoweredChip>,
     fault_count: usize,
-) -> CampaignRow {
-    let chunks = exec::run_chunked(config.threads, config.trials, TRIAL_CHUNK, |trials| {
+) -> (CampaignRow, KernelStats) {
+    let chunk_size = match config.kernel {
+        SimKernel::Scalar => TRIAL_CHUNK,
+        SimKernel::BitParallel => TRIAL_CHUNK_BITS,
+    };
+    let chunks = exec::run_chunked(config.threads, config.trials, chunk_size, |trials| {
+        let mut stats = KernelStats::default();
         let mut detected = 0usize;
         let mut escapes = Vec::new();
-        for trial in trials {
+        let draw = |trial: usize| {
             let mut rng = StdRng::seed_from_u64(trial_seed(config.seed, fault_count, trial));
-            let faults = random_fault_set_from(fpva, &mut rng, fault_count, leaks);
-            if suite.detects(fpva, &faults) {
-                detected += 1;
-            } else if escapes.len() < MAX_RECORDED_ESCAPES {
-                escapes.push(faults);
+            random_fault_set_from(fpva, &mut rng, fault_count, leaks)
+        };
+        match lowered {
+            // Bit-parallel: draw the chunk's fault sets with their
+            // per-trial RNGs (identical to the scalar draws), pack 64
+            // consecutive trials per block and push each block through
+            // one word-parallel detection sweep.
+            Some(chip) if config.kernel == SimKernel::BitParallel => {
+                let sets: Vec<FaultSet> = trials.map(draw).collect();
+                let mut sim = BitSimulator::new(chip);
+                for block in sets.chunks(LANES) {
+                    let mask = sim.detect_block(suite, block);
+                    for (lane, set) in block.iter().enumerate() {
+                        if mask >> lane & 1 == 1 {
+                            detected += 1;
+                        } else if escapes.len() < MAX_RECORDED_ESCAPES {
+                            escapes.push(set.clone());
+                        }
+                    }
+                }
+                stats = sim.stats();
+            }
+            _ => {
+                for trial in trials {
+                    let faults = draw(trial);
+                    match suite.first_detecting_vector(fpva, &faults) {
+                        Some(ix) => {
+                            detected += 1;
+                            stats.scalar_passes += ix + 1;
+                        }
+                        None => {
+                            stats.scalar_passes += suite.len();
+                            if escapes.len() < MAX_RECORDED_ESCAPES {
+                                escapes.push(faults);
+                            }
+                        }
+                    }
+                }
             }
         }
-        (detected, escapes)
+        (detected, escapes, stats)
     });
     // Chunks arrive in trial order; keeping each chunk's first
     // MAX_RECORDED_ESCAPES and truncating the concatenation yields exactly
@@ -417,20 +590,23 @@ fn run_row(
     // of the chunk decomposition.
     let mut detected = 0usize;
     let mut escapes = Vec::new();
-    for (chunk_detected, chunk_escapes) in chunks {
+    let mut stats = KernelStats::default();
+    for (chunk_detected, chunk_escapes, chunk_stats) in chunks {
         detected += chunk_detected;
+        stats.merge(&chunk_stats);
         escapes.extend(
             chunk_escapes
                 .into_iter()
                 .take(MAX_RECORDED_ESCAPES - escapes.len()),
         );
     }
-    CampaignRow {
+    let row = CampaignRow {
         fault_count,
         trials: config.trials,
         detected,
         escapes,
-    }
+    };
+    (row, stats)
 }
 
 #[cfg(test)]

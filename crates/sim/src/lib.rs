@@ -19,9 +19,66 @@
 //!   thread count via per-trial seed derivation,
 //! * [`audit`] — exhaustive single-fault and pairwise two-fault coverage
 //!   audits used to check the paper's two-fault detection guarantee,
+//! * [`bitsim`] — the bit-parallel (PPSFP-style) simulation kernel: 64
+//!   fault scenarios per `u64` word, one bitset BFS per vector,
 //! * [`exec`] — the scoped worker pool the campaign and the pairwise
 //!   audit share (fixed-size chunks, merged in chunk order, so results
 //!   never depend on the thread count).
+//!
+//! # Architecture
+//!
+//! ## The determinism contract
+//!
+//! Campaign rows are a **pure function of `(chip, suite, config)`** —
+//! byte-identical across thread counts, `fault_counts` ordering and
+//! subsetting, chunk decomposition, lane packing and kernel choice. The
+//! contract has three load-bearing pieces:
+//!
+//! 1. **Per-trial RNG derivation.** No RNG stream is ever shared: trial
+//!    `i` of fault count `k` seeds its own `StdRng` with
+//!    [`campaign::trial_seed`]`(seed, k, i)` (SplitMix64-style finalisers
+//!    with distinct odd multipliers per coordinate), so a trial's fault
+//!    set depends on nothing but its coordinates. This is what makes any
+//!    `(fault_count, trial)` range independently schedulable.
+//! 2. **Chunk-ordered merge.** [`exec::run_chunked`] splits an index
+//!    space into *fixed-size* contiguous chunks (never derived from the
+//!    thread count), lets workers claim chunks dynamically, and returns
+//!    results **in chunk order**. Merging is therefore deterministic:
+//!    detections add up commutatively, and keeping each chunk's first
+//!    [`campaign::MAX_RECORDED_ESCAPES`] escapes and truncating the
+//!    ordered concatenation yields exactly the first escapes of the whole
+//!    row.
+//! 3. **Precomputation outside the hot loop.** [`ObservableLeaks`] scans
+//!    every ordered adjacent valve pair once per chip (so leak draws are
+//!    table lookups, not BFS probes), and [`bitsim::LoweredChip`] lowers
+//!    the cell adjacency once per chip into flat CSR arrays. Both are
+//!    plain shared data (`Send + Sync`), built once and read by every
+//!    worker; [`campaign::ChipContext`] bundles them for reuse across
+//!    runs.
+//!
+//! ## The bit-parallel lane layout
+//!
+//! The default kernel ([`SimKernel::BitParallel`]) packs
+//! [`bitsim::LANES`] = 64 fault scenarios into one `u64` per graph
+//! element: lane `l` of the per-valve word says "scenario `l` holds this
+//! valve open" (commanded state broadcast, then control-leak victims
+//! cleared, then stuck-at overrides — the per-lane replica of
+//! [`FaultSet::effective_states`]), and lane `l` of the per-cell word
+//! says "scenario `l` pressurises this cell". One bitset BFS
+//! ([`bitsim::BitFrontier`]) then floods all 64 scenarios through the
+//! lowered adjacency at once — the inner loop is a word-wide AND against
+//! the valve's lane word and an OR into the neighbour cell. A campaign
+//! chunk packs consecutive trials into lanes (only the trailing block of
+//! a row is partial), so 64 per-trial BFS traversals collapse into one.
+//!
+//! **Scalar-oracle invariant:** the scalar path ([`propagate`],
+//! [`TestSuite::detects`], [`campaign::leak_is_observable`]) is retained
+//! unchanged and is the oracle — the bit-parallel kernel must reproduce
+//! its results *byte for byte* (same rows, same escapes, same
+//! observable-leak table), never just statistically. Differential tests
+//! (unit, integration and proptest) pin this on every Table I layout and
+//! the multi-sink example chip; only [`KernelStats`] may differ between
+//! kernels.
 //!
 //! # Example
 //!
@@ -45,6 +102,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod bitsim;
 pub mod campaign;
 mod error;
 pub mod exec;
@@ -53,7 +111,8 @@ mod pressure;
 mod suite;
 
 pub use audit::CoverageReport;
-pub use campaign::{CampaignConfig, CampaignRow, ObservableLeaks};
+pub use bitsim::{BitFrontier, BitSimulator, KernelStats, LaneSet, LoweredChip, SimKernel};
+pub use campaign::{CampaignConfig, CampaignRow, ChipContext, ObservableLeaks};
 pub use error::SimError;
 pub use fault::{EffectiveStates, Fault, FaultSet};
 pub use pressure::{propagate, respond, Pressure, Response};

@@ -51,5 +51,6 @@ pub use fpva_sim as sim;
 pub use fpva_atpg::{Atpg, AtpgConfig, AtpgError, CutSet, FlowPath, TestPlan};
 pub use fpva_grid::{layouts, Fpva, FpvaBuilder, GridError, TestVector, ValveId, ValveState};
 pub use fpva_sim::{
-    CampaignConfig, CampaignRow, CoverageReport, Fault, FaultSet, ObservableLeaks, TestSuite,
+    CampaignConfig, CampaignRow, ChipContext, CoverageReport, Fault, FaultSet, KernelStats,
+    ObservableLeaks, SimKernel, TestSuite,
 };

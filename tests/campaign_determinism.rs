@@ -129,6 +129,7 @@ fn empty_universes_are_reported_explicitly() {
     let empty_report: CoverageReport<Fault> = CoverageReport {
         total: 0,
         undetected: vec![],
+        stats: fpva::KernelStats::default(),
     };
     assert_eq!(empty_report.coverage(), None);
 
