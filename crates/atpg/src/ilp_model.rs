@@ -336,6 +336,15 @@ pub struct IlpCoverStats {
     pub ft_updates: usize,
     /// Forrest–Tomlin updates rejected by the stability test.
     pub rejected_updates: usize,
+    /// Dual simplex pivots across all probes' warm re-solves (child
+    /// nodes restoring feasibility from the parent basis dually instead
+    /// of restarting primal phase 1).
+    pub dual_pivots: usize,
+    /// Node LP solves started from a usable warm basis across all probes.
+    pub warm_resolves: usize,
+    /// Node LP solves whose warm basis was rejected into a cold slack
+    /// start across all probes (should stay at or near zero).
+    pub cold_restarts: usize,
     /// Constraints eliminated by static presolve across all probes.
     pub presolve_rows: usize,
     /// Variables eliminated by static presolve across all probes.
@@ -468,6 +477,9 @@ pub fn min_path_cover_ilp_with_stats(
         stats.refactorizations += outcome.stats.refactorizations;
         stats.ft_updates += outcome.stats.ft_updates;
         stats.rejected_updates += outcome.stats.rejected_updates;
+        stats.dual_pivots += outcome.stats.dual_pivots;
+        stats.warm_resolves += outcome.stats.warm_resolves;
+        stats.cold_restarts += outcome.stats.cold_restarts;
         stats.presolve_rows += outcome.stats.presolve_rows;
         stats.presolve_cols += outcome.stats.presolve_cols;
         stats.presolve_tightenings += outcome.stats.presolve_tightenings;

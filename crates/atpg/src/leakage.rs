@@ -27,7 +27,7 @@ use crate::path::FlowPath;
 use fpva_grid::{EdgeId, Fpva, PortId, ValveId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Certifies that the ordered pair `(actuator, victim)` can never be
 /// exposed by any pressure-based vector: with the actuator's edge closed,
@@ -109,24 +109,38 @@ pub fn leakage_vectors(
         sets.iter().any(|s| s.contains(&b) && !s.contains(&a))
     };
 
-    let mut todo: Vec<(ValveId, ValveId)> = Vec::new();
+    // `pending_victims` is a multiset of the victim valves still in `todo`
+    // (victims repeat across pairs), kept in sync with every queue edit so
+    // the routing preference below is an O(1) lookup instead of a rescan
+    // of the whole queue per expanded edge.
+    let mut todo: VecDeque<(ValveId, ValveId)> = VecDeque::new();
+    let mut pending_victims: HashMap<ValveId, usize> = HashMap::new();
     for (a, _) in fpva.valves() {
         for b in fpva.valve_neighbors(a) {
             if !pair_covered(&path_sets, a, b) {
-                todo.push((a, b));
+                todo.push_back((a, b));
+                *pending_victims.entry(b).or_insert(0) += 1;
+            }
+        }
+    }
+    fn drop_victim(pending: &mut HashMap<ValveId, usize>, v: ValveId) {
+        match pending.get_mut(&v) {
+            Some(n) if *n > 1 => *n -= 1,
+            _ => {
+                pending.remove(&v);
             }
         }
     }
 
     let mut extra_paths: Vec<FlowPath> = Vec::new();
     let mut uncovered: Vec<(ValveId, ValveId)> = Vec::new();
-    while let Some(&(a, b)) = todo.first() {
+    while let Some(&(a, b)) = todo.front() {
         let avoid: HashSet<EdgeId> = [fpva.edge_of(a)].into_iter().collect();
         // Prefer steps that knock out other pending victims, so one extra
         // vector covers many pairs at once.
         let prefer = |e: EdgeId| {
             fpva.valve_at(e)
-                .is_some_and(|v| todo.iter().any(|&(_, y)| y == v))
+                .is_some_and(|v| pending_victims.contains_key(&v))
         };
         // Escalate the retry budget before declaring the pair untestable:
         // routing around channels occasionally needs more restarts.
@@ -155,11 +169,19 @@ pub fn leakage_vectors(
                     .expect("search yields validated simple paths");
                 path_sets.push(path.valves(fpva).into_iter().collect());
                 extra_paths.push(path);
-                todo.retain(|&(x, y)| !pair_covered(&path_sets[path_sets.len() - 1..], x, y));
+                let newest = &path_sets[path_sets.len() - 1..];
+                todo.retain(|&(x, y)| {
+                    let keep = !pair_covered(newest, x, y);
+                    if !keep {
+                        drop_victim(&mut pending_victims, y);
+                    }
+                    keep
+                });
             }
             None => {
                 uncovered.push((a, b));
-                todo.remove(0);
+                todo.pop_front();
+                drop_victim(&mut pending_victims, b);
             }
         }
     }
@@ -285,6 +307,98 @@ mod tests {
                 "path ends off-sink at {last}"
             );
         }
+    }
+
+    #[test]
+    fn repair_queue_rework_preserves_cover_and_terminates_promptly() {
+        // Reference: the original quadratic repair loop (Vec + `remove(0)`
+        // + whole-queue rescan inside `prefer`), kept verbatim so the
+        // reworked queue can be checked for identical output. Any
+        // divergence in pair order or routing preference would shift RNG
+        // consumption and change the generated paths.
+        fn reference_leakage_vectors(
+            fpva: &Fpva,
+            flow_paths: &[FlowPath],
+            seed: u64,
+            tries: usize,
+        ) -> LeakageCover {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut path_sets: Vec<HashSet<ValveId>> = flow_paths
+                .iter()
+                .map(|p| p.valves(fpva).into_iter().collect())
+                .collect();
+            let pair_covered = |sets: &[HashSet<ValveId>], a: ValveId, b: ValveId| {
+                sets.iter().any(|s| s.contains(&b) && !s.contains(&a))
+            };
+            let mut todo: Vec<(ValveId, ValveId)> = Vec::new();
+            for (a, _) in fpva.valves() {
+                for b in fpva.valve_neighbors(a) {
+                    if !pair_covered(&path_sets, a, b) {
+                        todo.push((a, b));
+                    }
+                }
+            }
+            let mut extra_paths: Vec<FlowPath> = Vec::new();
+            let mut uncovered: Vec<(ValveId, ValveId)> = Vec::new();
+            while let Some(&(a, b)) = todo.first() {
+                let avoid: HashSet<EdgeId> = [fpva.edge_of(a)].into_iter().collect();
+                let prefer = |e: EdgeId| {
+                    fpva.valve_at(e)
+                        .is_some_and(|v| todo.iter().any(|&(_, y)| y == v))
+                };
+                let found =
+                    path_through_edge(fpva, fpva.edge_of(b), &avoid, &prefer, &mut rng, tries)
+                        .or_else(|| {
+                            if pair_untestable(fpva, a, b) {
+                                None
+                            } else {
+                                path_through_edge(
+                                    fpva,
+                                    fpva.edge_of(b),
+                                    &avoid,
+                                    &|_| false,
+                                    &mut rng,
+                                    8 * tries,
+                                )
+                            }
+                        });
+                match found {
+                    Some(cells) => {
+                        let (src, snk) = endpoint_ports(fpva, &cells).unwrap();
+                        let path = FlowPath::new(fpva, src, snk, cells).unwrap();
+                        path_sets.push(path.valves(fpva).into_iter().collect());
+                        extra_paths.push(path);
+                        todo.retain(|&(x, y)| {
+                            !pair_covered(&path_sets[path_sets.len() - 1..], x, y)
+                        });
+                    }
+                    None => {
+                        uncovered.push((a, b));
+                        todo.remove(0);
+                    }
+                }
+            }
+            LeakageCover {
+                paths: extra_paths,
+                uncovered_pairs: uncovered,
+            }
+        }
+
+        // No pre-existing flow paths: every adjacent ordered pair starts
+        // uncovered, the many-pairs regime the old loop handled
+        // quadratically.
+        let f = layouts::full_array(6, 6);
+        let t0 = std::time::Instant::now();
+        let fast = leakage_vectors(&f, &[], 11, 32).unwrap();
+        let elapsed = t0.elapsed();
+        let slow = reference_leakage_vectors(&f, &[], 11, 32);
+        assert_eq!(fast.paths, slow.paths);
+        assert_eq!(fast.uncovered_pairs, slow.uncovered_pairs);
+        assert!(!fast.paths.is_empty());
+        assert!(
+            elapsed < std::time::Duration::from_secs(30),
+            "repair took {elapsed:?}"
+        );
     }
 
     #[test]

@@ -56,5 +56,45 @@ fn bench_lu_warm_start_chain(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_exact_cover, bench_lu_warm_start_chain);
+/// The child-node re-solve pattern in isolation: one cold parent solve,
+/// then 64 single-bound-change re-solves warm-started from the parent
+/// basis — each should go through the dual simplex (the parent basis
+/// stays dual feasible under a bound change), making this the tentpole's
+/// benchmark: dual pricing + bound-flipping ratio test + FT update per
+/// pivot, no primal phase 1.
+fn bench_dual_resolves(c: &mut Criterion) {
+    let p = fixtures::multi_knapsack_lp();
+    let prepared = SparseLp::from_problem(&p);
+
+    let mut group = c.benchmark_group("ilp_dual_simplex");
+    group.bench_function("dual_resolve/64_bound_changes", |b| {
+        b.iter(|| {
+            let mut engine = prepared.engine();
+            let (parent, basis) = engine.solve(&p.lower, &p.upper, None, None);
+            black_box(parent.objective);
+            let basis = basis.expect("parent solve is optimal");
+            for step in 0..64usize {
+                let mut lower = p.lower.clone();
+                let mut upper = p.upper.clone();
+                let j = step % fixtures::CHAIN_VARS;
+                if step % 2 == 0 {
+                    lower[j] = 2.0;
+                } else {
+                    upper[j] = 3.0;
+                }
+                let (sol, _) = engine.solve(&lower, &upper, None, Some(&basis));
+                black_box(sol.objective);
+            }
+            engine.engine_stats().dual_pivots
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exact_cover,
+    bench_lu_warm_start_chain,
+    bench_dual_resolves
+);
 criterion_main!(benches);

@@ -76,7 +76,7 @@ fn main() {
 
     println!("\n== Ablation 1b: exact-ILP subblock scaling (default limits) ==");
     println!(
-        "{:<10} | {:>5} | {:>8} | {:>6} | {:>12} | {:>11} | {:>5} | {:>8} | {:>8} | {:>8} | {:>9} | {:>8}",
+        "{:<10} | {:>5} | {:>8} | {:>6} | {:>12} | {:>11} | {:>5} | {:>8} | {:>8} | {:>8} | {:>9} | {:>8} | {:>9} | {:>6} | {:>4}",
         "block",
         "paths",
         "seconds",
@@ -88,7 +88,10 @@ fn main() {
         "pre-cols",
         "refacts",
         "ft-updts",
-        "rejected"
+        "rejected",
+        "dual-pivs",
+        "warm",
+        "cold"
     );
     let channelled = layouts::table1_5x5();
     let blocks: Vec<(String, _)> = (2..=5usize)
@@ -103,7 +106,7 @@ fn main() {
             Err(_) => "none".into(),
         };
         println!(
-            "{:<10} | {:>5} | {:>7.2}s | {:>6} | {:>12} | {:>11} | {:>5} | {:>8} | {:>8} | {:>8} | {:>9} | {:>8}",
+            "{:<10} | {:>5} | {:>7.2}s | {:>6} | {:>12} | {:>11} | {:>5} | {:>8} | {:>8} | {:>8} | {:>9} | {:>8} | {:>9} | {:>6} | {:>4}",
             name,
             paths,
             t0.elapsed().as_secs_f64(),
@@ -115,7 +118,10 @@ fn main() {
             stats.presolve_cols,
             stats.refactorizations,
             stats.ft_updates,
-            stats.rejected_updates
+            stats.rejected_updates,
+            stats.dual_pivots,
+            stats.warm_resolves,
+            stats.cold_restarts
         );
     }
 

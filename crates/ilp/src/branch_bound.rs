@@ -333,6 +333,10 @@ impl MilpSolver {
                     stats.refactorizations = factor.refactorizations;
                     stats.ft_updates = factor.ft_updates;
                     stats.rejected_updates = factor.rejected_updates;
+                    let es = engine.engine_stats();
+                    stats.dual_pivots = es.dual_pivots;
+                    stats.warm_resolves = es.warm_resolves;
+                    stats.cold_restarts = es.cold_restarts;
                     stats.best_bound = f64::NEG_INFINITY * sign;
                     return MilpOutcome {
                         status: SolveStatus::Unbounded,
@@ -386,7 +390,7 @@ impl MilpSolver {
             }
 
             // Most fractional integer variable.
-            let mut branch: Option<(usize, f64, f64)> = None; // (var, value, frac-distance)
+            let mut branch: Option<(usize, f64, f64)> = None; // (var, value, dist)
             for (j, &integer_var) in is_int.iter().enumerate().take(n) {
                 if !integer_var {
                     continue;
@@ -473,6 +477,10 @@ impl MilpSolver {
         stats.refactorizations = factor.refactorizations;
         stats.ft_updates = factor.ft_updates;
         stats.rejected_updates = factor.rejected_updates;
+        let es = engine.engine_stats();
+        stats.dual_pivots = es.dual_pivots;
+        stats.warm_resolves = es.warm_resolves;
+        stats.cold_restarts = es.cold_restarts;
         let proved_optimal = !hit_limit && stats.limit_nodes == 0;
         let status = match (&incumbent, proved_optimal) {
             (Some(_), true) => SolveStatus::Optimal,

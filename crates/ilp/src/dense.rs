@@ -12,7 +12,7 @@
 //! the test suites should depend on this module.
 
 use crate::model::ConstraintOp;
-use crate::simplex::{LpProblem, LpSolution, LpStatus, EPS};
+use crate::simplex::{LpProblem, LpSolution, LpStatus, WarmStart, EPS};
 
 /// Tolerance used when comparing the phase-1 objective against zero.
 const FEAS_TOL: f64 = 1e-7;
@@ -283,6 +283,7 @@ pub fn solve_with_deadline(p: &LpProblem, deadline: Option<std::time::Instant>) 
                 x: vec![0.0; n],
                 objective: f64::NAN,
                 iterations: t.iterations,
+                start: WarmStart::Cold,
             };
         }
         let phase1_obj = -t.at(m, ncols);
@@ -292,6 +293,7 @@ pub fn solve_with_deadline(p: &LpProblem, deadline: Option<std::time::Instant>) 
                 x: vec![0.0; n],
                 objective: f64::NAN,
                 iterations: t.iterations,
+                start: WarmStart::Cold,
             };
         }
         // Pivot basic artificials out where possible.
@@ -337,6 +339,7 @@ pub fn solve_with_deadline(p: &LpProblem, deadline: Option<std::time::Instant>) 
             x: vec![0.0; n],
             objective: f64::NAN,
             iterations: t.iterations,
+            start: WarmStart::Cold,
         };
     }
 
@@ -354,6 +357,7 @@ pub fn solve_with_deadline(p: &LpProblem, deadline: Option<std::time::Instant>) 
         x,
         objective,
         iterations: t.iterations,
+        start: WarmStart::Cold,
     }
 }
 

@@ -66,12 +66,27 @@ const MARKOWITZ_SEARCH_COLS: usize = 4;
 
 /// One column eta of the `F` factor: the multipliers that eliminated the
 /// sub-pivot entries of one elimination step.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct ColEta {
     /// Pivot row of the elimination step.
     pivot_row: usize,
     /// `(row, multiplier)` for rows pivoted later than this step.
     entries: Vec<(usize, f64)>,
+}
+
+impl Clone for ColEta {
+    fn clone(&self) -> Self {
+        ColEta {
+            pivot_row: self.pivot_row,
+            entries: self.entries.clone(),
+        }
+    }
+
+    // Reuses the eta's entry buffer (see [`LuFactors::clone_from`]).
+    fn clone_from(&mut self, src: &Self) {
+        self.pivot_row = src.pivot_row;
+        self.entries.clone_from(&src.entries);
+    }
 }
 
 impl ColEta {
@@ -99,12 +114,27 @@ impl ColEta {
 
 /// One row eta of the `H` update file: the row operation that eliminated
 /// the freed pivot row after a Forrest–Tomlin column replacement.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct RowEta {
     /// The row that was re-triangularised.
     row: usize,
     /// `(other_row, multiplier)` pairs subtracted from `row`.
     entries: Vec<(usize, f64)>,
+}
+
+impl Clone for RowEta {
+    fn clone(&self) -> Self {
+        RowEta {
+            row: self.row,
+            entries: self.entries.clone(),
+        }
+    }
+
+    // Reuses the eta's entry buffer (see [`LuFactors::clone_from`]).
+    fn clone_from(&mut self, src: &Self) {
+        self.row = src.row;
+        self.entries.clone_from(&src.entries);
+    }
 }
 
 impl RowEta {
@@ -175,7 +205,7 @@ pub enum LuError {
 /// right-hand side to the solution indexed by basis position;
 /// [`LuFactors::btran`] maps a position-indexed cost vector to row-indexed
 /// simplex multipliers.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct LuFactors {
     m: usize,
     /// Column etas of `F`, applied in append order for FTRAN.
@@ -210,6 +240,38 @@ pub struct LuFactors {
     /// Dense scratch for the solve permutations.
     scratch: Vec<f64>,
     stats: FactorStats,
+}
+
+impl Clone for LuFactors {
+    fn clone(&self) -> Self {
+        let mut c = LuFactors::default();
+        c.clone_from(self);
+        c
+    }
+
+    /// Allocation-reusing deep copy: the simplex engine snapshots the
+    /// factorization before every dual walk and rolls it back after, so
+    /// this runs once per warm branch-and-bound node — `Vec::clone_from`
+    /// keeps the eta/`V` buffers (outer and inner) instead of
+    /// reallocating them each time.
+    fn clone_from(&mut self, src: &Self) {
+        self.m = src.m;
+        self.f_file.clone_from(&src.f_file);
+        self.h_file.clone_from(&src.h_file);
+        self.vcols.clone_from(&src.vcols);
+        self.vrows.clone_from(&src.vrows);
+        self.vdiag.clone_from(&src.vdiag);
+        self.order.clone_from(&src.order);
+        self.step_of.clone_from(&src.step_of);
+        self.pivot_row_of.clone_from(&src.pivot_row_of);
+        self.valid = src.valid;
+        self.base_fill = src.base_fill;
+        self.v_fill = src.v_fill;
+        self.h_fill = src.h_fill;
+        self.updates_since = src.updates_since;
+        self.scratch.clone_from(&src.scratch);
+        self.stats = src.stats;
+    }
 }
 
 impl LuFactors {

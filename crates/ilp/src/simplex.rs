@@ -30,7 +30,14 @@
 //!   maximises `d²/w` with reference weights updated from the pivot row —
 //!   falling back to **Bland's rule** while a degenerate streak persists
 //!   (and permanently after a large degenerate total), which terminates
-//!   classic cycling instances such as Beale's example.
+//!   classic cycling instances such as Beale's example;
+//! * warm starts from a **dual-feasible** basis (the branch-and-bound
+//!   child pattern: a parent's optimal basis after a one-bound change)
+//!   skip phase 1 entirely and run the **dual simplex** instead — worst
+//!   bound-violation row selection, a bound-flipping dual ratio test with
+//!   the same EPS tie-tolerancing, and the same Bland/stall anti-cycling
+//!   fallbacks, degrading gracefully to the primal path whenever the
+//!   warm basis is unusable or the dual walk stalls.
 //!
 //! Determinism: all loops run in fixed index order, ties are broken by
 //! variable index (Bland) or largest pivot magnitude (otherwise), and no
@@ -85,6 +92,24 @@ const UPDATES_REFACTOR: usize = 16;
 const DEADLINE_CHECK_EVERY: usize = 128;
 /// Consecutive degenerate pivots before Bland's rule engages.
 const DEGEN_STREAK_FOR_BLAND: usize = 48;
+/// Loose dual-feasibility tolerance for the warm-start gate: a parent's
+/// optimal reduced costs satisfy the sign conditions to [`DUAL_TOL`], but
+/// reclamping a tightened bound or plain float drift can leave slightly
+/// larger residue that the dual ratio test still absorbs harmlessly.
+const DUAL_FEAS_TOL: f64 = 1e-7;
+/// Consecutive *dual*-degenerate pivots (vanishing dual ratio) before the
+/// walk gives the basis back to the primal path. Much tighter than the
+/// primal [`DEGEN_STREAK_FOR_BLAND`] machinery: the warm re-solves this
+/// engine sees are massively degenerate set-cover probes, and a walk that
+/// has ground this many zero-progress pivots in a row almost never
+/// converges before the pivot budget while the rollback-plus-primal
+/// fallback is cheap. Tuned on the paper's exact-cover probes (a 24-pivot
+/// stall cap with Bland from half that was the only setting that beat the
+/// primal-only engine on every probe size at once).
+const DUAL_DEGEN_STALL: usize = 24;
+/// Dual-walk Bland switch: half the stall cap, so the deterministic
+/// tie-breaking gets a chance to break the cycle before the walk bails.
+const DUAL_DEGEN_FOR_BLAND: usize = DUAL_DEGEN_STALL / 2;
 
 /// One linear constraint row in sparse form.
 #[derive(Debug, Clone)]
@@ -127,6 +152,43 @@ pub enum LpStatus {
     TimeLimit,
 }
 
+/// How a solve obtained its starting basis — the non-silent return path
+/// for warm-start handling. A caller that hands a [`Basis`] snapshot to
+/// [`SimplexEngine::solve`] can tell from this (and from the cumulative
+/// [`EngineStats::cold_restarts`] counter) whether the snapshot was
+/// actually used or fell back to the cold slack basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmStart {
+    /// No warm basis was supplied (or the solve answered before touching
+    /// the basis, e.g. an empty variable domain).
+    Cold,
+    /// The snapshot matched the basis the engine already held; the live
+    /// factorization was reused as-is.
+    Reused,
+    /// The snapshot was installed and freshly refactorized.
+    Installed,
+    /// The snapshot was structurally or numerically unusable; the solve
+    /// fell back to the cold slack basis (counted in
+    /// [`EngineStats::cold_restarts`]).
+    Rejected,
+}
+
+/// Warm-start and dual-path counters of a [`SimplexEngine`], cumulative
+/// across every solve on the engine — a branch-and-bound run shares one
+/// engine, so these directly measure how its children re-solved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Dual simplex pivots performed (bound flips inside the dual ratio
+    /// test's long step are not counted).
+    pub dual_pivots: usize,
+    /// Solves that started from a usable warm basis
+    /// ([`WarmStart::Reused`] or [`WarmStart::Installed`]).
+    pub warm_resolves: usize,
+    /// Solves where a supplied warm basis was rejected and the engine
+    /// fell back to the cold slack basis ([`WarmStart::Rejected`]).
+    pub cold_restarts: usize,
+}
+
 /// Result of [`solve`].
 #[derive(Debug, Clone)]
 pub struct LpSolution {
@@ -138,15 +200,19 @@ pub struct LpSolution {
     pub objective: f64,
     /// Simplex pivots performed.
     pub iterations: usize,
+    /// How the starting basis was obtained (always [`WarmStart::Cold`]
+    /// for the plain [`solve`]/[`SparseLp::solve`] entry points).
+    pub start: WarmStart,
 }
 
 impl LpSolution {
-    fn failed(status: LpStatus, n: usize, iterations: usize) -> Self {
+    fn failed(status: LpStatus, n: usize, iterations: usize, start: WarmStart) -> Self {
         LpSolution {
             status,
             x: vec![0.0; n],
             objective: f64::NAN,
             iterations,
+            start,
         }
     }
 }
@@ -183,7 +249,9 @@ pub enum LpCertificate {
 /// An opaque basis snapshot from a successful solve, reusable as a warm
 /// start for a related solve (same matrix, different bounds) — the
 /// branch-and-bound access pattern. A stale or inconsistent snapshot is
-/// detected and silently replaced by the cold slack basis.
+/// detected and replaced by the cold slack basis; the fallback is
+/// reported through [`LpSolution::start`] and counted in
+/// [`EngineStats::cold_restarts`] rather than swallowed silently.
 #[derive(Debug, Clone)]
 pub struct Basis {
     /// Basic variable per row position (structurals `0..n`, logicals
@@ -343,6 +411,21 @@ enum Ratio {
     Unbounded,
 }
 
+/// Outcome of a [`SimplexEngine::dual_optimize`] run from a warm basis.
+#[derive(Debug)]
+enum DualOutcome {
+    /// Primal feasibility restored; phase 2 can resume from this basis.
+    Feasible,
+    /// Dual unbounded — the LP is primal infeasible, re-proved off a
+    /// factorization with no accumulated Forrest–Tomlin updates.
+    Infeasible,
+    /// Degeneracy or numerics stalled the dual walk; the caller falls
+    /// back to the primal phase-1 path, which terminates unconditionally.
+    Stalled,
+    /// Deadline or pivot budget exhausted.
+    Limit(LpStatus),
+}
+
 /// Reusable revised-simplex state over one [`SparseLp`].
 ///
 /// The engine owns the factorization (a sparse LU of the basis, updated
@@ -388,8 +471,24 @@ pub struct SimplexEngine<'a> {
     abar_seen: Vec<bool>,
     /// Scratch: structural columns touched by the current pivot row.
     touched: Vec<usize>,
+    /// Scratch: pre-dual-walk engine state `(basis, stat, x, lu,
+    /// pivots_since_refresh)`, restored after every dual walk; kept on
+    /// the engine so per-node snapshots reuse their allocations.
+    snap: (Vec<usize>, Vec<VStat>, Vec<f64>, LuFactors, usize),
+    /// Scratch: reduced costs per variable, maintained incrementally
+    /// across dual pivots (valid only inside `dual_optimize`).
+    dvec: Vec<f64>,
+    /// Scratch: `(column, pivot-row entry)` pairs of the current dual
+    /// pivot row, for the incremental reduced-cost update.
+    dupd: Vec<(usize, f64)>,
     iterations: usize,
     total_degen: usize,
+    /// Cumulative dual simplex pivots (see [`EngineStats`]).
+    dual_pivots: usize,
+    /// Cumulative solves started from a usable warm basis.
+    warm_resolves: usize,
+    /// Cumulative solves whose supplied warm basis was rejected.
+    cold_restarts: usize,
     /// When set, terminal verdicts also record an [`LpCertificate`].
     certify: bool,
     /// Certificate of the most recent solve (taken by the caller).
@@ -443,8 +542,14 @@ impl<'a> SimplexEngine<'a> {
             abar: vec![0.0; n],
             abar_seen: vec![false; n],
             touched: Vec::new(),
+            snap: (Vec::new(), Vec::new(), Vec::new(), LuFactors::new(), 0),
+            dvec: Vec::new(),
+            dupd: Vec::new(),
             iterations: 0,
             total_degen: 0,
+            dual_pivots: 0,
+            warm_resolves: 0,
+            cold_restarts: 0,
             certify: false,
             certificate: None,
         }
@@ -521,7 +626,10 @@ impl<'a> SimplexEngine<'a> {
         // tightening bounds) makes the whole LP infeasible; the pivot
         // machinery assumes lower <= upper everywhere, so answer here.
         if lower_s.iter().zip(upper_s).any(|(l, u)| l > u) {
-            return (LpSolution::failed(LpStatus::Infeasible, n, 0), None);
+            return (
+                LpSolution::failed(LpStatus::Infeasible, n, 0, WarmStart::Cold),
+                None,
+            );
         }
         self.lower[..n].copy_from_slice(lower_s);
         self.upper[..n].copy_from_slice(upper_s);
@@ -531,17 +639,87 @@ impl<'a> SimplexEngine<'a> {
         // Basis selection: reuse the live factorization when the caller
         // hands back exactly the basis this engine last held; otherwise
         // install and refactorize the snapshot; otherwise start cold from
-        // the slack basis (which phase 1 can always repair).
+        // the slack basis (which phase 1 can always repair). Each path is
+        // counted and reported via `LpSolution::start` — a rejected warm
+        // basis is a cold restart the caller can see, not a silent swap.
         let reuse = self.lu.is_valid()
             && warm.is_some_and(|w| w.basis == self.basis && w.at_upper.len() == self.n + self.m);
-        if reuse {
+        let start = if reuse {
             self.reclamp_nonbasics();
             let _ = self.recompute_basic_values();
-        } else if !(warm.is_some_and(|w| self.install_basis(w)) && self.refactorize().is_ok()) {
+            self.warm_resolves += 1;
+            WarmStart::Reused
+        } else if warm.is_some_and(|w| self.install_basis(w)) && self.refactorize().is_ok() {
+            self.warm_resolves += 1;
+            WarmStart::Installed
+        } else {
             self.cold_start();
-        }
+            if warm.is_some() {
+                self.cold_restarts += 1;
+                WarmStart::Rejected
+            } else {
+                WarmStart::Cold
+            }
+        };
 
         let max_iters = 2000 + 60 * (self.m + self.n + self.m);
+
+        // Dual warm re-solve: a basis inherited from a parent's optimal
+        // solve stays dual feasible after a one-bound change (the
+        // branch-and-bound child pattern), so the dual simplex either
+        // proves the child infeasible in a handful of pivots — the
+        // outcome branch-and-bound consumes as a prune, where the primal
+        // restart would grind phase 1 to the same verdict — or walks the
+        // basis straight to a primal-feasible (hence optimal) one that
+        // phase 2 below confirms without a phase-1 restart. The walk is
+        // consumed only on those two clean outcomes; a stalled, capped,
+        // or deadline-hit walk is rolled back to the pre-walk state and
+        // the primal path re-solves as if the dual had never run.
+        if matches!(start, WarmStart::Reused | WarmStart::Installed) && self.has_violations() {
+            // Exact engine-state snapshot (basis, factors, values): the
+            // rollback must be bit-identical, because even
+            // refactorize-level float noise in the restored state flips
+            // pricing near-ties downstream and reshuffles the search
+            // tree (measured: restarting the primal from a perturbed
+            // copy of the same basis blows the 5x5 exact-cover dive from
+            // ~90 nodes to thousands). The buffers live on the engine,
+            // so a node's snapshot costs copies into already-sized
+            // allocations, not fresh ones.
+            self.snap.0.clone_from(&self.basis);
+            self.snap.1.clone_from(&self.stat);
+            self.snap.2.clone_from(&self.x);
+            self.snap.3.clone_from(&self.lu);
+            self.snap.4 = self.pivots_since_refresh;
+            let outcome = self.dual_optimize(max_iters, deadline);
+            if !matches!(outcome, DualOutcome::Feasible) {
+                // Restore by swap: the snapshot buffers then hold the walk's
+                // end state, which the next node's snapshot overwrites.
+                std::mem::swap(&mut self.basis, &mut self.snap.0);
+                std::mem::swap(&mut self.stat, &mut self.snap.1);
+                std::mem::swap(&mut self.x, &mut self.snap.2);
+                std::mem::swap(&mut self.lu, &mut self.snap.3);
+                self.pivots_since_refresh = self.snap.4;
+            }
+            match outcome {
+                DualOutcome::Limit(status) => {
+                    return (LpSolution::failed(status, n, self.iterations, start), None);
+                }
+                // Certificate-free callers take the (re-proved) verdict
+                // as a prune; certifying solves re-derive it below so
+                // the proof log gets its Farkas ray. The rollback above
+                // leaves the *parent* basis live in the engine, so the
+                // pruned child's sibling — the next node branch-and-bound
+                // pops — still gets a true reuse of the parent
+                // factorization.
+                DualOutcome::Infeasible if !self.certify => {
+                    return (
+                        LpSolution::failed(LpStatus::Infeasible, n, self.iterations, start),
+                        None,
+                    );
+                }
+                DualOutcome::Feasible | DualOutcome::Stalled | DualOutcome::Infeasible => {}
+            }
+        }
 
         // Both phases, wrapped in a bounded certification loop: an
         // `Infeasible` or `Optimal` verdict is only ever issued off a
@@ -555,7 +733,7 @@ impl<'a> SimplexEngine<'a> {
             if self.has_violations() {
                 let status = self.optimize(true, max_iters, deadline);
                 if status != LpStatus::Optimal {
-                    return (LpSolution::failed(status, n, self.iterations), None);
+                    return (LpSolution::failed(status, n, self.iterations, start), None);
                 }
                 if self.has_violations() {
                     if self.lu.updates_since_refactor() > 0 && attempt < 3 {
@@ -563,7 +741,12 @@ impl<'a> SimplexEngine<'a> {
                         // from a fresh factorization.
                         if self.refactorize().is_err() {
                             return (
-                                LpSolution::failed(LpStatus::IterationLimit, n, self.iterations),
+                                LpSolution::failed(
+                                    LpStatus::IterationLimit,
+                                    n,
+                                    self.iterations,
+                                    start,
+                                ),
                                 None,
                             );
                         }
@@ -574,7 +757,7 @@ impl<'a> SimplexEngine<'a> {
                         self.certificate = Some(LpCertificate::Infeasible { farkas });
                     }
                     return (
-                        LpSolution::failed(LpStatus::Infeasible, n, self.iterations),
+                        LpSolution::failed(LpStatus::Infeasible, n, self.iterations, start),
                         None,
                     );
                 }
@@ -583,7 +766,7 @@ impl<'a> SimplexEngine<'a> {
             // Phase 2: the real objective.
             let status = self.optimize(false, max_iters, deadline);
             if status != LpStatus::Optimal {
-                return (LpSolution::failed(status, n, self.iterations), None);
+                return (LpSolution::failed(status, n, self.iterations, start), None);
             }
             // Factor-independent audit: the reported point must satisfy
             // the rows (logicals absorb each row, so the residual is a
@@ -594,7 +777,7 @@ impl<'a> SimplexEngine<'a> {
             if attempt >= 3 || self.refactorize().is_err() {
                 // Refuse to report a point that fails its own audit.
                 return (
-                    LpSolution::failed(LpStatus::IterationLimit, n, self.iterations),
+                    LpSolution::failed(LpStatus::IterationLimit, n, self.iterations, start),
                     None,
                 );
             }
@@ -620,6 +803,7 @@ impl<'a> SimplexEngine<'a> {
                 x,
                 objective,
                 iterations: self.iterations,
+                start,
             },
             Some(snapshot),
         )
@@ -817,6 +1001,15 @@ impl<'a> SimplexEngine<'a> {
     /// refactorizations; shared across all solves on this engine).
     pub fn factor_stats(&self) -> FactorStats {
         self.lu.stats()
+    }
+
+    /// Cumulative warm-start and dual-path counters of this engine.
+    pub fn engine_stats(&self) -> EngineStats {
+        EngineStats {
+            dual_pivots: self.dual_pivots,
+            warm_resolves: self.warm_resolves,
+            cold_restarts: self.cold_restarts,
+        }
     }
 
     /// Picks the entering variable: Devex `d²/w` score, or the
@@ -1231,6 +1424,445 @@ impl<'a> SimplexEngine<'a> {
         self.alpha = alpha;
         status
     }
+
+    /// Prices every reduced cost `d_j = c_j − yᵀA_j` into `dvec` (basics
+    /// get 0) off a fresh BTRAN of the phase-2 costs, and reports whether
+    /// the basis is dual feasible: every nonbasic `d_j` carries the sign
+    /// its resting bound requires, within [`DUAL_FEAS_TOL`]. One BTRAN
+    /// plus one pricing sweep — the dual walk runs this once at entry
+    /// (its feasibility gate doubles as the seed for the incrementally
+    /// maintained reduced costs) and again whenever a terminal verdict
+    /// must be re-proved off fresh numbers.
+    fn price_duals(&mut self, y: &mut Vec<f64>, dvec: &mut Vec<f64>) -> bool {
+        y.clear();
+        y.resize(self.m, 0.0);
+        for (yp, &v) in y.iter_mut().zip(&self.basis) {
+            *yp = self.cost[v];
+        }
+        self.btran(y);
+        let ntotal = self.n + self.m;
+        dvec.clear();
+        dvec.resize(ntotal, 0.0);
+        let mut ok = true;
+        for j in 0..ntotal {
+            let at_upper = match self.stat[j] {
+                VStat::Basic => continue,
+                VStat::AtUpper => true,
+                VStat::AtLower => false,
+            };
+            let d = if j < self.n {
+                self.cost[j] - self.col_dot(j, y)
+            } else {
+                -y[j - self.n]
+            };
+            dvec[j] = d;
+            if self.lower[j] == self.upper[j] {
+                continue; // fixed columns never re-enter; any sign is fine
+            }
+            if (at_upper && d > DUAL_FEAS_TOL) || (!at_upper && d < -DUAL_FEAS_TOL) {
+                ok = false;
+            }
+        }
+        ok
+    }
+
+    /// The dual simplex pivot loop: from a dual-feasible basis whose
+    /// basic values violate their bounds (the state a parent's optimal
+    /// basis is left in after a child tightens one bound), each iteration
+    /// picks the worst-violating basic row, accumulates its pivot row
+    /// through the CSR mirror (exactly like the Devex update), and runs a
+    /// **bound-flipping dual ratio test**: breakpoints are walked in
+    /// ascending `|d_j| / |α_rj|` order with the same EPS tie-tolerancing
+    /// as the primal ratio test; a boxed candidate whose whole span
+    /// cannot absorb the remaining violation is bound-flipped without a
+    /// pivot (the long step), and the first candidate that can cover the
+    /// rest enters the basis. Exhausting the breakpoints with violation
+    /// left over means the dual is unbounded, i.e. the LP is primal
+    /// infeasible — re-proved off a fresh factorization exactly like the
+    /// primal phase-1 verdict, since branch-and-bound consumes it as a
+    /// proof. Anti-cycling mirrors the primal loop: a degenerate streak
+    /// switches row/column ties to Bland's rule (which also disables the
+    /// long-step flips), and a persistent stall falls back to the primal
+    /// path via [`DualOutcome::Stalled`].
+    fn dual_optimize(&mut self, max_iters: usize, deadline: Option<Instant>) -> DualOutcome {
+        let mut local = 0usize;
+        let mut degen_streak = 0usize;
+        // A warm child re-solve should finish in a handful of pivots; a
+        // dual walk still violating after O(m + n) of them is either
+        // cycling on dual degeneracy or fighting numerics, and the primal
+        // phase-1 restart is the cheaper way out. This budget bounds the
+        // worst-case overhead of *attempting* the dual path per node.
+        let budget = (200 + 4 * (self.m + self.n)).min(max_iters);
+        // Whether the impending conclusion rests on freshly recomputed
+        // basic values (any move clears it) — both the Feasible and the
+        // Infeasible break are consumed as trusted claims by `solve`.
+        let mut certified = false;
+        let mut y = std::mem::take(&mut self.y);
+        let mut alpha = std::mem::take(&mut self.alpha);
+        let mut dvec = std::mem::take(&mut self.dvec);
+        let mut dupd = std::mem::take(&mut self.dupd);
+        // `(ratio, variable, pivot-row entry)` breakpoints of one test.
+        let mut cands: Vec<(f64, usize, f64)> = Vec::new();
+        // The entry gate doubles as the seed of the incrementally
+        // maintained reduced costs: a basis that does not price dual
+        // feasible is the primal path's problem.
+        if !self.price_duals(&mut y, &mut dvec) {
+            self.y = y;
+            self.alpha = alpha;
+            self.dvec = dvec;
+            self.dupd = dupd;
+            return DualOutcome::Stalled;
+        }
+        let outcome = loop {
+            if local > budget {
+                break DualOutcome::Stalled;
+            }
+            if local.is_multiple_of(DEADLINE_CHECK_EVERY) {
+                if let Some(dl) = deadline {
+                    if Instant::now() >= dl {
+                        break DualOutcome::Limit(LpStatus::TimeLimit);
+                    }
+                }
+            }
+            // Same refactorization / value-refresh policy as the primal,
+            // plus a fresh pricing of the incrementally maintained
+            // reduced costs whenever the factors are rebuilt (their
+            // accumulated float error resets with everything else's).
+            if self.lu.should_refactor() || self.lu.updates_since_refactor() >= UPDATES_REFACTOR {
+                if self.refactorize().is_err() {
+                    break DualOutcome::Limit(LpStatus::IterationLimit);
+                }
+                self.price_duals(&mut y, &mut dvec);
+            } else if self.pivots_since_refresh >= VALUES_REFRESH
+                && self.recompute_basic_values() > DRIFT_REFACTOR_TOL
+                && self.refactorize().is_err()
+            {
+                break DualOutcome::Limit(LpStatus::IterationLimit);
+            }
+            let bland = degen_streak > DUAL_DEGEN_FOR_BLAND;
+            if degen_streak > DUAL_DEGEN_STALL {
+                // Bland's rule alone should have broken the tie chain by
+                // now; hand the basis to the primal path rather than keep
+                // grinding degenerate dual pivots.
+                break DualOutcome::Stalled;
+            }
+            // Leaving row: the basic value furthest outside its bounds
+            // (the dual analogue of Devex pricing), or the smallest
+            // violated variable index under Bland's rule.
+            let mut r = usize::MAX;
+            let mut worst = FEAS_TOL;
+            let mut viol_high = false;
+            for (p, &v) in self.basis.iter().enumerate() {
+                let below = self.lower[v] - self.x[v];
+                let above = self.x[v] - self.upper[v];
+                let (viol, high) = if below >= above {
+                    (below, false)
+                } else {
+                    (above, true)
+                };
+                if viol <= FEAS_TOL {
+                    continue;
+                }
+                let take = if bland {
+                    r == usize::MAX || v < self.basis[r]
+                } else {
+                    viol > worst
+                };
+                if take {
+                    r = p;
+                    worst = viol;
+                    viol_high = high;
+                }
+            }
+            if r == usize::MAX {
+                // Primal feasible. Conclude only off fresh values, like
+                // the primal phase-1 break — `solve` skips phase 1 on the
+                // strength of this.
+                if !certified {
+                    certified = true;
+                    if self.recompute_basic_values() > DRIFT_REFACTOR_TOL
+                        && self.refactorize().is_err()
+                    {
+                        break DualOutcome::Limit(LpStatus::IterationLimit);
+                    }
+                    local += 1;
+                    continue;
+                }
+                break DualOutcome::Feasible;
+            }
+            let leave = self.basis[r];
+            // Pivot row ρᵀA (ρ = B⁻ᵀe_r) through the CSR mirror; the
+            // reduced costs come from the incrementally maintained
+            // `dvec`, so no per-pivot BTRAN of the costs is needed.
+            self.rho.iter_mut().for_each(|e| *e = 0.0);
+            self.rho[r] = 1.0;
+            let mut rho = std::mem::take(&mut self.rho);
+            self.btran(&mut rho);
+            let mut abar = std::mem::take(&mut self.abar);
+            let mut seen = std::mem::take(&mut self.abar_seen);
+            let mut touched = std::mem::take(&mut self.touched);
+            for (i, &rv) in rho.iter().enumerate() {
+                if rv == 0.0 {
+                    continue;
+                }
+                for (j, a) in self.lp.rows_csr.col(i) {
+                    if !seen[j] {
+                        seen[j] = true;
+                        abar[j] = 0.0;
+                        touched.push(j);
+                    }
+                    abar[j] += a * rv;
+                }
+            }
+            // Breakpoints: every nonbasic column whose natural move (up
+            // from a lower bound, down from an upper one) pushes row r's
+            // value back toward its violated bound, keyed by the dual
+            // ratio. The basic value changes by −α_rj per unit of an
+            // upward move, so fixing a violation from below wants
+            // α_rj < 0 at a lower bound and α_rj > 0 at an upper one
+            // (mirrored for a violation from above).
+            cands.clear();
+            dupd.clear();
+            for &j in &touched {
+                let a = abar[j];
+                let at_upper = match self.stat[j] {
+                    VStat::Basic => continue,
+                    VStat::AtUpper => true,
+                    VStat::AtLower => false,
+                };
+                if a == 0.0 {
+                    continue;
+                }
+                // Every nonbasic column the pivot row touches needs its
+                // reduced cost shifted by the dual step, candidate or
+                // not.
+                dupd.push((j, a));
+                if self.lower[j] == self.upper[j] || a.abs() <= EPS {
+                    continue;
+                }
+                let want_pos = viol_high != at_upper;
+                if if want_pos { a <= EPS } else { a >= -EPS } {
+                    continue;
+                }
+                let d = dvec[j];
+                let ratio = (if at_upper { -d } else { d }).max(0.0) / a.abs();
+                cands.push((ratio, j, a));
+            }
+            for (i, &rv) in rho.iter().enumerate() {
+                // The logical column of row i is the unit vector e_i, so
+                // its pivot-row entry is ρ_i and its cost is zero.
+                if rv == 0.0 {
+                    continue;
+                }
+                let j = self.n + i;
+                let at_upper = match self.stat[j] {
+                    VStat::Basic => continue,
+                    VStat::AtUpper => true,
+                    VStat::AtLower => false,
+                };
+                dupd.push((j, rv));
+                if self.lower[j] == self.upper[j] || rv.abs() <= EPS {
+                    continue;
+                }
+                let want_pos = viol_high != at_upper;
+                if if want_pos { rv <= EPS } else { rv >= -EPS } {
+                    continue;
+                }
+                let d = dvec[j];
+                let ratio = (if at_upper { -d } else { d }).max(0.0) / rv.abs();
+                cands.push((ratio, j, rv));
+            }
+            for &j in &touched {
+                seen[j] = false;
+            }
+            touched.clear();
+            self.abar = abar;
+            self.abar_seen = seen;
+            self.touched = touched;
+            self.rho = rho;
+            // Ascending dual ratio, variable index breaking exact ties —
+            // deterministic, like every other ordering in this module.
+            cands.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            // Bound-flipping walk over the breakpoints, in two passes: a
+            // *virtual* walk first decides which prefix of the sorted
+            // breakpoints flips and which one enters, and the flips are
+            // only applied when an entering pivot actually follows. A
+            // flip leaves the flipped column's reduced cost unchanged —
+            // it is the entering pivot's dual step (at least as large as
+            // every flipped ratio) that moves the reduced costs across
+            // zero and re-signs them for the new bound. Flipping without
+            // that pivot would leave the basis silently dual infeasible,
+            // which is exactly the kind of corruption branch-and-bound
+            // later consumes as a wrong infeasibility proof. Under
+            // Bland's rule the long step is disabled and the
+            // smallest-index column within EPS of the minimum ratio
+            // enters directly.
+            let mut entering: Option<(usize, f64, f64)> = None;
+            let mut flips = 0usize;
+            if bland {
+                if let Some(first) = cands.first() {
+                    let cutoff = first.0 + EPS;
+                    entering = cands
+                        .iter()
+                        .filter(|c| c.0 <= cutoff)
+                        .map(|&(ratio, j, a)| (j, a, ratio))
+                        .min_by_key(|&(j, ..)| j);
+                }
+            } else {
+                let mut remaining = if viol_high {
+                    self.x[leave] - self.upper[leave]
+                } else {
+                    self.lower[leave] - self.x[leave]
+                };
+                for &(ratio, j, a) in &cands {
+                    let span = self.upper[j] - self.lower[j];
+                    // EPS-toleranced like the primal flip tie: a boxed
+                    // candidate whose whole span cannot absorb what is
+                    // left of the violation is marked to flip, and the
+                    // walk moves to the next breakpoint.
+                    if span.is_finite() && a.abs() * span < remaining - EPS {
+                        remaining -= a.abs() * span;
+                        flips += 1;
+                        continue;
+                    }
+                    entering = Some((j, a, ratio));
+                    break;
+                }
+                // Degenerate duals tie many breakpoints at the stopping
+                // ratio; among them, the largest pivot-row entry gives
+                // both the stablest pivot and the longest primal step.
+                // Columns skipped over inside the window keep their
+                // (near-zero) reduced costs within tolerance.
+                if let Some((_, _, stop_ratio)) = entering {
+                    let cutoff = stop_ratio + EPS;
+                    entering = cands[flips..]
+                        .iter()
+                        .take_while(|c| c.0 <= cutoff)
+                        .max_by(|a, b| a.2.abs().total_cmp(&b.2.abs()))
+                        .map(|&(ratio, j, a)| (j, a, ratio));
+                }
+            }
+            if entering.is_some() {
+                for &(_, j, _) in &cands[..flips] {
+                    let dir: i8 = if self.stat[j] == VStat::AtUpper {
+                        -1
+                    } else {
+                        1
+                    };
+                    self.ftran_col(j, &mut alpha);
+                    self.apply_bound_flip(j, dir, &alpha);
+                    certified = false;
+                }
+            }
+            let delta = if viol_high {
+                self.x[leave] - self.upper[leave]
+            } else {
+                self.lower[leave] - self.x[leave]
+            };
+            let Some((q, _, entering_ratio)) = entering else {
+                if delta <= FEAS_TOL {
+                    // Drift guard: the row's stored value no longer
+                    // violates; pick the next violated row off fresh
+                    // numbers.
+                    self.iterations += 1;
+                    local += 1;
+                    continue;
+                }
+                // No breakpoint (or none left) can move row r to its
+                // bound: the dual is unbounded, so the LP is primal
+                // infeasible. Re-prove off a fresh factorization and
+                // fresh values before concluding, like every other
+                // terminal verdict in this engine.
+                if self.lu.updates_since_refactor() > 0 {
+                    if self.refactorize().is_err() {
+                        break DualOutcome::Limit(LpStatus::IterationLimit);
+                    }
+                    self.price_duals(&mut y, &mut dvec);
+                    certified = true;
+                    local += 1;
+                    continue;
+                }
+                if !certified {
+                    certified = true;
+                    if self.recompute_basic_values() > DRIFT_REFACTOR_TOL
+                        && self.refactorize().is_err()
+                    {
+                        break DualOutcome::Limit(LpStatus::IterationLimit);
+                    }
+                    self.price_duals(&mut y, &mut dvec);
+                    local += 1;
+                    continue;
+                }
+                break DualOutcome::Infeasible;
+            };
+            self.ftran_col(q, &mut alpha);
+            let arq = alpha[r];
+            if arq.abs() < SMALL_PIVOT_TOL {
+                if self.lu.updates_since_refactor() > 0 {
+                    // Stale tiny pivot: refactorize and redo the
+                    // iteration with exact alphas, as in the primal loop.
+                    if self.refactorize().is_err() {
+                        break DualOutcome::Limit(LpStatus::IterationLimit);
+                    }
+                    local += 1;
+                    continue;
+                }
+                if arq.abs() <= EPS {
+                    // Hopeless pivot even on fresh factors; let the
+                    // primal path take over.
+                    break DualOutcome::Stalled;
+                }
+            }
+            let theta = (delta / arq.abs()).max(0.0);
+            // Dual degeneracy is a vanishing *dual ratio* — the pivot
+            // leaves the dual objective where it was, which is what lets
+            // the walk cycle — not a vanishing primal step (the primal
+            // step is `delta / |α|`, strictly positive whenever a pivot
+            // is taken at all).
+            if entering_ratio <= DUAL_TOL {
+                degen_streak += 1;
+                self.total_degen += 1;
+            } else {
+                degen_streak = 0;
+            }
+            let dir: i8 = if self.stat[q] == VStat::AtUpper {
+                -1
+            } else {
+                1
+            };
+            // The primal Devex reference weights are deliberately left
+            // untouched. Any positive weights are a valid Devex state (a
+            // stale weight only costs pricing quality, never
+            // correctness), and threading the dual pivots through
+            // `devex_update` measurably poisons the downstream primal
+            // pricing on the massively degenerate cover probes this
+            // engine exists for (~8x more nodes on the 4x4 exact-cover
+            // dive when the walk maintained the weights).
+            // Dual step length forced by the entering column's reduced
+            // cost landing on zero: y' = y + (d_q/α_rq)·ρ, hence
+            // d_j' = d_j − (d_q/α_rq)·α_rj for every nonbasic column the
+            // pivot row touches, and the leaving variable picks up
+            // d' = −d_q/α_rq. Read before the pivot clobbers the state.
+            let t = dvec[q] / arq;
+            if !self.apply_pivot(q, dir, &alpha, r, theta, viol_high) {
+                break DualOutcome::Limit(LpStatus::IterationLimit);
+            }
+            for &(j, a) in &dupd {
+                dvec[j] -= t * a;
+            }
+            dvec[leave] = -t;
+            dvec[q] = 0.0;
+            certified = false;
+            self.dual_pivots += 1;
+            self.iterations += 1;
+            local += 1;
+        };
+        self.y = y;
+        self.alpha = alpha;
+        self.dvec = dvec;
+        self.dupd = dupd;
+        outcome
+    }
 }
 
 #[cfg(test)]
@@ -1534,6 +2166,89 @@ mod tests {
         let (infeasible, none) = engine.solve(&[2.0, 2.0], &[2.0, 2.0], None, Some(&basis));
         assert_eq!(infeasible.status, LpStatus::Infeasible);
         assert!(none.is_none(), "failed solves return no basis");
+    }
+
+    #[test]
+    fn warm_resolve_after_bound_tightening_takes_the_dual_path() {
+        // max x + y over x + y <= 3, x, y in [0, 2]: the optimal basis has
+        // the row's logical nonbasic and one structural basic. Tightening
+        // a bound leaves the basis dual feasible but primal infeasible —
+        // exactly the state the dual simplex exists for.
+        let p = LpProblem {
+            objective: vec![-1.0, -1.0],
+            rows: vec![row(&[(0, 1.0), (1, 1.0)], ConstraintOp::Leq, 3.0)],
+            lower: vec![0.0, 0.0],
+            upper: vec![2.0, 2.0],
+        };
+        let prepared = SparseLp::from_problem(&p);
+        let mut engine = prepared.engine();
+        let (root, basis) = engine.solve(&p.lower, &p.upper, None, None);
+        assert_eq!(root.status, LpStatus::Optimal);
+        assert_eq!(root.start, WarmStart::Cold);
+        assert_eq!(engine.engine_stats(), EngineStats::default());
+        let basis = basis.unwrap();
+        // Child: y <= 0.5 forces the basic point off the old vertex.
+        let (child, _) = engine.solve(&[0.0, 0.0], &[2.0, 0.5], None, Some(&basis));
+        assert_eq!(child.status, LpStatus::Optimal);
+        assert!((child.objective + 2.5).abs() < 1e-6, "{}", child.objective);
+        assert_eq!(child.start, WarmStart::Reused);
+        let stats = engine.engine_stats();
+        assert_eq!(stats.warm_resolves, 1);
+        assert_eq!(stats.cold_restarts, 0);
+        assert!(
+            stats.dual_pivots > 0,
+            "the warm re-solve must go through the dual simplex"
+        );
+    }
+
+    #[test]
+    fn rejected_warm_basis_is_counted_not_silent() {
+        let p = LpProblem {
+            objective: vec![-1.0, -1.0],
+            rows: vec![row(&[(0, 1.0), (1, 1.0)], ConstraintOp::Leq, 3.0)],
+            lower: vec![0.0, 0.0],
+            upper: vec![2.0, 2.0],
+        };
+        let prepared = SparseLp::from_problem(&p);
+        let mut engine = prepared.engine();
+        // A structurally bogus snapshot (basic variable out of range, as
+        // a snapshot from a different LP would be) must be rejected,
+        // counted, and reported — and the solve must still answer
+        // correctly from the cold slack basis.
+        let bogus = Basis {
+            basis: vec![7],
+            at_upper: vec![false; 3],
+        };
+        let (sol, _) = engine.solve(&p.lower, &p.upper, None, Some(&bogus));
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective + 3.0).abs() < 1e-6);
+        assert_eq!(sol.start, WarmStart::Rejected);
+        let stats = engine.engine_stats();
+        assert_eq!(stats.cold_restarts, 1);
+        assert_eq!(stats.warm_resolves, 0);
+    }
+
+    #[test]
+    fn dual_infeasible_child_agrees_with_cold_solve() {
+        // Fixing both variables above what the row allows: the dual walk
+        // must prove infeasibility (no eligible entering column), and the
+        // verdict must match a cold phase-1 proof.
+        let p = LpProblem {
+            objective: vec![1.0, 1.0],
+            rows: vec![row(&[(0, 1.0), (1, 1.0)], ConstraintOp::Leq, 3.0)],
+            lower: vec![0.0, 0.0],
+            upper: vec![2.0, 2.0],
+        };
+        let prepared = SparseLp::from_problem(&p);
+        let mut engine = prepared.engine();
+        let (root, basis) = engine.solve(&p.lower, &p.upper, None, None);
+        assert_eq!(root.status, LpStatus::Optimal);
+        let basis = basis.unwrap();
+        let (warm, none) = engine.solve(&[2.0, 2.0], &[2.0, 2.0], None, Some(&basis));
+        assert_eq!(warm.status, LpStatus::Infeasible);
+        assert!(none.is_none());
+        let cold = prepared.solve(&[2.0, 2.0], &[2.0, 2.0], None);
+        assert_eq!(cold.status, LpStatus::Infeasible);
     }
 
     #[test]

@@ -45,6 +45,18 @@ pub struct SolveStats {
     /// forces a refactorization; a high count signals an
     /// ill-conditioned relaxation).
     pub rejected_updates: usize,
+    /// Dual simplex pivots across all warm re-solves: child nodes whose
+    /// parent basis stayed dual feasible after the branching bound change
+    /// restore feasibility dually instead of restarting primal phase 1.
+    pub dual_pivots: usize,
+    /// Node LP solves that started from a usable warm basis (the engine
+    /// either reused its live factorization or installed the snapshot).
+    pub warm_resolves: usize,
+    /// Node LP solves whose supplied warm basis was rejected as stale or
+    /// inconsistent, forcing a cold start from the slack basis. Should
+    /// stay at (or near) zero — a nonzero count means parent snapshots
+    /// are being invalidated somewhere.
+    pub cold_restarts: usize,
     /// Constraints eliminated by the root presolve pass (zero when
     /// presolve is disabled via `MilpOptions::presolve`).
     pub presolve_rows: usize,

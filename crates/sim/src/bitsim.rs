@@ -177,6 +177,13 @@ impl LaneSet {
         self.words.fill(0);
     }
 
+    /// Re-shapes recycled scratch to `len` all-zero words without
+    /// reallocating when capacity suffices.
+    fn reset(&mut self, len: usize) {
+        self.words.clear();
+        self.words.resize(len, 0);
+    }
+
     /// Broadcasts a per-element predicate to all 64 lanes: element `i`
     /// becomes all-ones when `pred(i)`, all-zeros otherwise.
     pub fn broadcast(&mut self, pred: impl Fn(usize) -> bool) {
@@ -288,6 +295,17 @@ impl BitFrontier {
         }
     }
 
+    /// Re-shapes recycled scratch for a chip with `cells` fluid cells.
+    /// The queue is empty and `queued` all-false whenever a frontier is
+    /// at rest (every propagation drains its own worklist), so only the
+    /// sizes need fixing up.
+    fn reset(&mut self, cells: usize) {
+        self.reached.reset(cells);
+        self.queue.clear();
+        self.queued.clear();
+        self.queued.resize(cells, false);
+    }
+
     /// The per-cell reached lanes of the last propagation.
     pub fn reached(&self) -> &LaneSet {
         &self.reached
@@ -341,9 +359,32 @@ impl KernelStats {
     }
 }
 
+/// Recycled [`BitSimulator`] scratch: the per-valve open lanes and the
+/// BFS frontier, parked between simulator lifetimes.
+struct Scratch {
+    open: LaneSet,
+    frontier: BitFrontier,
+}
+
+/// Per-thread pool of retired scratch buffers. Campaign and audit chunks
+/// construct one short-lived `BitSimulator` per work item inside the
+/// worker closures; without the pool every chunk re-allocates the lane
+/// words and the frontier from cold. Bounded so a burst of simulators
+/// cannot pin memory.
+const SCRATCH_POOL_CAP: usize = 8;
+thread_local! {
+    static SCRATCH_POOL: std::cell::RefCell<Vec<Scratch>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// Batch fault-detection engine: owns the scratch buffers ([`LaneSet`] of
 /// per-valve open lanes + [`BitFrontier`]) so a worker can push thousands
-/// of scenario blocks through without reallocating.
+/// of scenario blocks through without reallocating. The buffers outlive
+/// the simulator itself: dropping one parks them in a per-thread pool and
+/// the next construction on that thread re-shapes them instead of
+/// allocating, so per-chunk simulators in campaign workers stop paying an
+/// allocation per block. Recycling is invisible in the results — every
+/// propagation fully overwrites the scratch it reads.
 #[derive(Debug)]
 pub struct BitSimulator<'c> {
     chip: &'c LoweredChip,
@@ -353,12 +394,25 @@ pub struct BitSimulator<'c> {
 }
 
 impl<'c> BitSimulator<'c> {
-    /// A simulator (with fresh scratch state) over one lowered chip.
+    /// A simulator (with fresh scratch state) over one lowered chip,
+    /// recycling this thread's pooled buffers when available.
     pub fn new(chip: &'c LoweredChip) -> Self {
+        let recycled = SCRATCH_POOL.with(|pool| pool.borrow_mut().pop());
+        let (open, frontier) = match recycled {
+            Some(mut s) => {
+                s.open.reset(chip.valve_count());
+                s.frontier.reset(chip.cell_count());
+                (s.open, s.frontier)
+            }
+            None => (
+                LaneSet::zeros(chip.valve_count()),
+                BitFrontier::new(chip.cell_count()),
+            ),
+        };
         BitSimulator {
             chip,
-            open: LaneSet::zeros(chip.valve_count()),
-            frontier: BitFrontier::new(chip.cell_count()),
+            open,
+            frontier,
             stats: KernelStats::default(),
         }
     }
@@ -443,6 +497,26 @@ impl<'c> BitSimulator<'c> {
             detected |= differs & live;
         }
         detected
+    }
+}
+
+impl Drop for BitSimulator<'_> {
+    fn drop(&mut self) {
+        let open = std::mem::replace(&mut self.open, LaneSet { words: Vec::new() });
+        let frontier = std::mem::replace(
+            &mut self.frontier,
+            BitFrontier {
+                reached: LaneSet { words: Vec::new() },
+                queue: VecDeque::new(),
+                queued: Vec::new(),
+            },
+        );
+        SCRATCH_POOL.with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() < SCRATCH_POOL_CAP {
+                pool.push(Scratch { open, frontier });
+            }
+        });
     }
 }
 
@@ -633,6 +707,46 @@ mod tests {
         frontier.propagate(&chip, &open);
         assert_eq!(frontier.lanes_at(2), 0, "stale lanes must be cleared");
         assert_eq!(frontier.lanes_at(0), !0, "sources stay pressurised");
+    }
+
+    #[test]
+    fn scratch_is_recycled_across_simulators() {
+        let f = layouts::table1_5x5();
+        let chip = LoweredChip::build(&f);
+        let suite = TestSuite::new(&f, vec![TestVector::all_open(f.valve_count())]);
+        let set = FaultSet::new();
+        let ptr = {
+            let mut sim = BitSimulator::new(&chip);
+            sim.detect_block(&suite, std::slice::from_ref(&set));
+            sim.open.words.as_ptr()
+        };
+        // Drop parked the buffers in the thread-local pool; the next
+        // simulator on this thread must pick them up, not allocate.
+        let sim = BitSimulator::new(&chip);
+        assert_eq!(sim.open.words.as_ptr(), ptr, "lane scratch reallocated");
+    }
+
+    #[test]
+    fn recycled_scratch_reshapes_to_a_different_chip() {
+        // Park scratch sized for a 4x4, then simulate a 1x3: the recycled
+        // buffers must re-shape and produce correct (clean) results.
+        let big = LoweredChip::build(&layouts::full_array(4, 4));
+        drop(BitSimulator::new(&big));
+        let f = line3();
+        let chip = LoweredChip::build(&f);
+        let suite = TestSuite::new(&f, vec![TestVector::all_open(f.valve_count())]);
+        let mut sim = BitSimulator::new(&chip);
+        assert_eq!(sim.open.len(), chip.valve_count());
+        assert_eq!(
+            sim.detect_block(
+                &suite,
+                &[
+                    FaultSet::new(),
+                    FaultSet::try_from_faults(vec![Fault::StuckAt0(ValveId(0))]).unwrap(),
+                ]
+            ),
+            0b10
+        );
     }
 
     #[test]
