@@ -18,8 +18,15 @@
 //! * `--allow <check>` — repeatable; findings of that check still print
 //!   but never affect the exit code (waive a known, intended warning
 //!   such as `custom_biochip`'s `cut-cover` blind spot).
+//! * `--only <check>` — repeatable; keep only findings of the named
+//!   check(s). Exit code and counts are computed on the filtered set, so
+//!   `--only certify` gates on certification findings alone.
 //! * `--json` — machine-readable output: one JSON object with the
 //!   diagnostics array, per-severity counts and the exit code.
+//!
+//! Diagnostics print in a deterministic order: severity (worst first),
+//! then subject, then check, then message text — independent of the
+//! order the passes ran in.
 //!
 //! Run with `cargo run --release -p fpva-bench --bin fpva-lint [-- FLAGS]`.
 
@@ -39,6 +46,7 @@ struct Options {
     deny_warnings: bool,
     json: bool,
     allow: Vec<String>,
+    only: Vec<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -47,6 +55,7 @@ fn parse_args() -> Result<Options, String> {
         deny_warnings: false,
         json: false,
         allow: Vec::new(),
+        only: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -60,9 +69,16 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or_else(|| "--allow needs a check name".to_string())?;
                 opts.allow.push(check);
             }
+            "--only" => {
+                let check = args
+                    .next()
+                    .ok_or_else(|| "--only needs a check name".to_string())?;
+                opts.only.push(check);
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: fpva-lint [--certify] [--deny-warnings] [--allow <check>]... [--json]"
+                    "usage: fpva-lint [--certify] [--deny-warnings] [--allow <check>]... \
+                     [--only <check>]... [--json]"
                 );
                 std::process::exit(0);
             }
@@ -139,13 +155,29 @@ fn main() -> ExitCode {
         diags.extend(lint::lint_chip(name, fpva));
         diags.extend(lint::lint_paths(name, fpva));
         // Audit the model at the probe loop's starting k — any smaller k is
-        // provably infeasible (a path covers at most cell_count+1 valves).
+        // provably infeasible (a single path traverses at most cell_count - 1
+        // distinct valve edges, so k paths cover at most k * (cell_count - 1)
+        // valves).
         let k = fpva_atpg::ilp_model::min_cover_paths(fpva);
         diags.extend(lint::lint_model(name, fpva, k));
+        diags.extend(lint::lint_analysis(name, fpva, k));
         if opts.certify {
             diags.extend(lint::certify_models(name, fpva, PROBE_BUDGET));
         }
     }
+
+    if !opts.only.is_empty() {
+        diags.retain(|d| opts.only.iter().any(|o| o == d.check));
+    }
+    // Deterministic report order: worst severity first, then subject,
+    // then check, then message — independent of pass execution order.
+    diags.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.subject.cmp(&b.subject))
+            .then_with(|| a.check.cmp(b.check))
+            .then_with(|| a.message.cmp(&b.message))
+    });
 
     let mut counts = [0usize; 3];
     // Exit severity considers only checks not waived by --allow.

@@ -291,6 +291,82 @@ pub fn lint_model(name: &str, fpva: &Fpva, k: usize) -> Vec<Diagnostic> {
     out
 }
 
+/// Statically audits the root-analysis surface of the `k`-path cover
+/// model: conflict-graph density and symmetry-orbit structure.
+///
+/// Both checks are **structural only** — probing is disabled
+/// (`probe_cap = 0`), so the pass stays cheap even on the 30×30 Table I
+/// chip. `conflict-density` summarises the set-packing shape the solver's
+/// clique table will see. `symmetry` runs the grid-automorphism survey:
+/// every dihedral map compatible with the chip is lifted to a signed
+/// variable permutation and *verified structurally* on the model — a
+/// chip-compatible candidate the model rejects is a warning, because the
+/// cover model then breaks a symmetry the chip itself appears to have
+/// (usually a modelling bug, and always a lost pruning opportunity).
+pub fn lint_analysis(name: &str, fpva: &Fpva, k: usize) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut push = |severity, check, message: String| {
+        out.push(Diagnostic {
+            severity,
+            subject: name.to_string(),
+            check,
+            message,
+        });
+    };
+
+    let model = ilp_model::cover_model(fpva, k);
+    let analysis = fpva_ilp::analyze::analyze(
+        &model,
+        &[],
+        &fpva_ilp::AnalyzeOptions {
+            certify: false,
+            probe_cap: 0,
+        },
+    );
+    let s = analysis.stats;
+    let possible = s.binaries.saturating_mul(s.binaries.saturating_sub(1)) / 2;
+    let density = if possible == 0 {
+        0.0
+    } else {
+        s.conflict_edges as f64 / possible as f64
+    };
+    push(
+        Severity::Info,
+        "conflict-density",
+        format!(
+            "k={k}: {} binaries, {} structural conflict edge(s) (density {:.2e}), \
+             {} clique(s), largest {}",
+            s.binaries, s.conflict_edges, density, s.cliques, s.max_clique
+        ),
+    );
+
+    let rep = ilp_model::symmetry_report(fpva, k);
+    if rep.rejected > 0 {
+        push(
+            Severity::Warning,
+            "symmetry",
+            format!(
+                "k={k}: {} of {} chip-compatible grid map(s) failed structural \
+                 verification on the cover model (the model breaks a symmetry \
+                 the chip has)",
+                rep.rejected,
+                rep.rejected + rep.verified
+            ),
+        );
+    }
+    push(
+        Severity::Info,
+        "symmetry",
+        format!(
+            "k={k}: {} dihedral candidate(s), {} verified generator(s); \
+             {} orbit(s) covering {} of {} binaries",
+            rep.candidates, rep.verified, rep.orbit_count, rep.orbit_vars, rep.binaries
+        ),
+    );
+
+    out
+}
+
 /// Ceiling on candidate paths enumerated by [`lint_paths`]; past it the
 /// dominance check reports itself as partial instead of truncating
 /// silently.

@@ -1,0 +1,757 @@
+//! Static root-node analysis of a MILP: conflict graph, probing, orbits.
+//!
+//! [`analyze`] runs once per solve, between [`presolve`](crate::presolve())
+//! and branch-and-bound, on the model the tree will actually search (the
+//! presolve-reduced model when presolve ran). It is *pure analysis*: the
+//! model is never rewritten, only three kinds of facts are extracted and
+//! handed to the search:
+//!
+//! * **Conflict graph** — pairs of binaries that cannot both be 1,
+//!   detected structurally from set-packing/GUB-shaped rows (for the
+//!   paper's cover models: the per-path port-opening rows `Σ pe = 1`)
+//!   plus probing implications. Cliques found per row are kept as a
+//!   clique table; conflict *degree* feeds branching (a fractional
+//!   variable entangled with many others is worth deciding early).
+//! * **Root probing** — each binary is tentatively fixed to 0 and to 1
+//!   and the interval-propagation machinery of
+//!   [`presolve`](mod@crate::presolve) is run. A side that propagates to
+//!   an empty domain is provably infeasible, so the variable is *fixed*
+//!   to the other value; two live sides yield implications (conflict
+//!   edges) and, outside certify mode, lifted bounds (the union of the
+//!   two sides' propagated boxes holds for every feasible point).
+//! * **Symmetry orbits** — callers may supply signed variable
+//!   permutations ([`MilpOptions::symmetry`](crate::MilpOptions))
+//!   claimed to be automorphisms of the model.
+//!   [`verify_automorphism`] checks each claim *structurally* (the
+//!   permuted constraint multiset, objective, bounds and kinds must be
+//!   bit-identical to the original), so an unsound claim is dropped, not
+//!   trusted. Verified generators are closed into orbits of
+//!   interchangeable binaries: branching prefers orbit representatives,
+//!   and a probing fixing propagates to the whole orbit (a probing
+//!   deduction at the root is a statement about *all* feasible points,
+//!   which an automorphism maps to itself).
+//!
+//! **Certify mode.** Every solution-changing deduction must stay
+//! provable. Probing fixings are logged ([`ProbeFixing`]) into the
+//! [`MilpCertificate`](crate::certify::MilpCertificate) and re-derived by
+//! [`certify_outcome`](crate::certify::certify_outcome) with exact
+//! rational interval propagation; lifted bounds and orbit-propagated
+//! fixings are *disabled* (each orbit member is simply probed directly,
+//! so the same fixings arrive individually logged and auditable).
+
+use crate::model::{ConstraintOp, Model, VarKind};
+use crate::presolve::Propagator;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Conflict tolerance: two unit coefficients exceeding a unit rhs must
+/// register, accumulated float noise must not.
+const CONFLICT_TOL: f64 = 1e-7;
+
+/// A signed variable permutation: entry `i` holds `(σ(i), flip)`, mapping
+/// solutions by `x'[σ(i)] = ±x[i]`. Sign flips are only meaningful (and
+/// only accepted) for continuous variables with symmetric bounds — e.g.
+/// the flow variables of the cover models under a grid reflection.
+pub type SignedPerm = Vec<(usize, bool)>;
+
+/// Tuning of one [`analyze`] run.
+#[derive(Debug, Clone)]
+pub struct AnalyzeOptions {
+    /// Certify mode: log fixings, skip unlogged deductions (see module
+    /// docs).
+    pub certify: bool,
+    /// Largest number of binaries probed; beyond it the remaining
+    /// binaries keep their structural conflict degrees but are not
+    /// probed. Guards generic huge models — the cover probes sit far
+    /// below it.
+    pub probe_cap: usize,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions {
+            certify: false,
+            probe_cap: 4096,
+        }
+    }
+}
+
+/// One probing fixing: `var` was fixed to `value` because the opposite
+/// value `probed` propagates to an empty domain. Logged into the
+/// certificate in certify mode and re-derived exactly by the audit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeFixing {
+    /// Variable index in the analyzed (reduced) model.
+    pub var: usize,
+    /// The value the variable is fixed to.
+    pub value: f64,
+    /// The refuted value: fixing `var` to it propagates to infeasibility.
+    pub probed: f64,
+}
+
+/// Counters of one [`analyze`] run, threaded through
+/// [`SolveStats`](crate::SolveStats) into the ablation tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalysisStats {
+    /// Binaries considered by the analysis.
+    pub binaries: usize,
+    /// Distinct conflict-graph edges (structural + probing implications).
+    pub conflict_edges: usize,
+    /// Cliques recorded in the clique table (size ≥ 2, deduplicated).
+    pub cliques: usize,
+    /// Largest clique found.
+    pub max_clique: usize,
+    /// Probing propagation runs (two per probed binary).
+    pub probes: usize,
+    /// Variables fixed by probing (one side propagated to infeasibility).
+    pub probe_fixings: usize,
+    /// Implications harvested from two-live-sides probes.
+    pub implications: usize,
+    /// Bounds lifted from the union of both probe sides (never in
+    /// certify mode).
+    pub lifted_bounds: usize,
+    /// Orbits of interchangeable binaries (size ≥ 2) under the verified
+    /// symmetry generators.
+    pub orbit_count: usize,
+    /// Binaries belonging to those orbits.
+    pub orbit_vars: usize,
+    /// Fixings propagated to orbit mates without probing them (never in
+    /// certify mode).
+    pub orbit_fixings: usize,
+    /// Symmetry generators supplied by the caller that failed structural
+    /// verification and were dropped.
+    pub rejected_generators: usize,
+}
+
+/// The result of one [`analyze`] run.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Probing proved the model infeasible (some binary is infeasible at
+    /// both 0 and 1). Never set in certify mode — the fixing is logged
+    /// instead and the branch-and-bound tree carries the proof.
+    pub infeasible: bool,
+    /// Fixings derived by probing (and orbit propagation outside certify
+    /// mode), already folded into [`Analysis::lower`]/[`Analysis::upper`].
+    pub fixings: Vec<ProbeFixing>,
+    /// Post-analysis lower bounds: the model's bounds plus every
+    /// deduction the mode allows.
+    pub lower: Vec<f64>,
+    /// Post-analysis upper bounds.
+    pub upper: Vec<f64>,
+    /// Conflict degree per variable (0 for non-binaries).
+    pub degree: Vec<u32>,
+    /// Distinct conflict edges `(a, b)`, `a < b`: the binaries `a` and
+    /// `b` cannot both be 1. Branch-and-bound turns these into clique
+    /// cuts `xₐ + x_b ≤ 1` outside certify mode.
+    pub edges: Vec<(usize, usize)>,
+    /// Clique table: each entry is a sorted set of binaries of which at
+    /// most one can be 1.
+    pub cliques: Vec<Vec<usize>>,
+    /// Orbit id per variable (`None`: not in any orbit of size ≥ 2).
+    pub orbit_of: Vec<Option<usize>>,
+    /// `true` for each variable that is its orbit's representative (the
+    /// smallest index) — and for every variable outside all orbits.
+    pub orbit_rep: Vec<bool>,
+    /// Counters for stats reporting.
+    pub stats: AnalysisStats,
+}
+
+impl Analysis {
+    /// The empty analysis of an `n`-variable model (used when analysis
+    /// is disabled or the model has no binaries).
+    pub fn trivial(model: &Model) -> Self {
+        let n = model.var_count();
+        let (lower, upper) = (0..n)
+            .map(|j| model.var_bounds(crate::expr::VarId(j)))
+            .unzip();
+        Analysis {
+            infeasible: false,
+            fixings: Vec::new(),
+            lower,
+            upper,
+            degree: vec![0; n],
+            edges: Vec::new(),
+            cliques: Vec::new(),
+            orbit_of: vec![None; n],
+            orbit_rep: vec![true; n],
+            stats: AnalysisStats::default(),
+        }
+    }
+}
+
+/// Checks structurally that `perm` is an automorphism of `model`: under
+/// the solution map `x'[σ(i)] = ±x[i]` the variable kinds, bounds and
+/// objective must be invariant and the constraint multiset must map to
+/// itself **exactly** (coefficients compared bit-for-bit after sign
+/// canonicalisation, `Geq` rows normalised to `Leq`, `Eq` rows
+/// sign-normalised on their first coefficient).
+///
+/// This is the trust boundary for every orbit-based deduction: callers
+/// (e.g. the grid-automorphism detection in `atpg`) may propose any
+/// permutation, and an unsound proposal simply fails here.
+pub fn verify_automorphism(model: &Model, perm: &[(usize, bool)]) -> bool {
+    let n = model.var_count();
+    if perm.len() != n {
+        return false;
+    }
+    // Bijection + inverse (σ(i) -> (i, flip)).
+    let mut inv: Vec<Option<(usize, bool)>> = vec![None; n];
+    for (i, &(j, flip)) in perm.iter().enumerate() {
+        if j >= n || inv[j].is_some() {
+            return false;
+        }
+        inv[j] = Some((i, flip));
+    }
+    let inv: Vec<(usize, bool)> = inv.into_iter().map(|e| e.expect("bijection")).collect();
+    // Kinds, bounds, objective.
+    let obj: Vec<f64> = {
+        let mut c = vec![0.0; n];
+        for (v, a) in model.objective().terms() {
+            c[v.index()] += a;
+        }
+        c
+    };
+    for (i, &(j, flip)) in perm.iter().enumerate() {
+        let vi = crate::expr::VarId(i);
+        let vj = crate::expr::VarId(j);
+        if model.var_kind(vi) != model.var_kind(vj) {
+            return false;
+        }
+        if flip && model.var_kind(vi) != VarKind::Continuous {
+            return false;
+        }
+        let (li, ui) = model.var_bounds(vi);
+        let (lj, uj) = model.var_bounds(vj);
+        let (el, eu) = if flip { (-uj, -lj) } else { (lj, uj) };
+        if !same_f64(li, el) || !same_f64(ui, eu) {
+            return false;
+        }
+        // Σ c_v x'_v = Σ c_{σ(i)} (±x_i) must equal Σ c_i x_i.
+        let mapped = if flip { -obj[j] } else { obj[j] };
+        if !same_f64(obj[i], mapped) {
+            return false;
+        }
+    }
+    // Constraint multiset: pull each row back through the permutation and
+    // consume it from a canonical-form count map.
+    let mut counts: BTreeMap<CanonRow, isize> = BTreeMap::new();
+    for c in model.constraints() {
+        let terms: Vec<(usize, f64)> = c.expr.terms().map(|(v, a)| (v.index(), a)).collect();
+        *counts.entry(canon_row(terms, c.op, c.rhs)).or_insert(0) += 1;
+    }
+    for c in model.constraints() {
+        let pulled: Vec<(usize, f64)> = c
+            .expr
+            .terms()
+            .map(|(v, a)| {
+                let (i, flip) = inv[v.index()];
+                (i, if flip { -a } else { a })
+            })
+            .collect();
+        match counts.get_mut(&canon_row(pulled, c.op, c.rhs)) {
+            Some(k) if *k > 0 => *k -= 1,
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Exact f64 identity up to `-0.0 == 0.0`.
+fn same_f64(a: f64, b: f64) -> bool {
+    a == b || (a.is_nan() && b.is_nan())
+}
+
+/// Canonical row key: `Leq`-normalised operator, sign-normalised `Eq`,
+/// terms sorted by variable, coefficients and rhs as canonical bits.
+type CanonRow = (u8, Vec<(usize, u64)>, u64);
+
+fn canon_row(mut terms: Vec<(usize, f64)>, op: ConstraintOp, mut rhs: f64) -> CanonRow {
+    terms.sort_unstable_by_key(|&(v, _)| v);
+    terms.retain(|&(_, a)| a != 0.0);
+    let mut negate = matches!(op, ConstraintOp::Geq);
+    let tag = match op {
+        ConstraintOp::Leq | ConstraintOp::Geq => 0u8,
+        ConstraintOp::Eq => {
+            // An equality is the same constraint up to a global sign:
+            // normalise on the first coefficient.
+            negate = terms.first().is_some_and(|&(_, a)| a < 0.0);
+            1u8
+        }
+    };
+    if negate {
+        for (_, a) in &mut terms {
+            *a = -*a;
+        }
+        rhs = -rhs;
+    }
+    let bits = terms.into_iter().map(|(v, a)| (v, canon_bits(a))).collect();
+    (tag, bits, canon_bits(rhs))
+}
+
+fn canon_bits(a: f64) -> u64 {
+    // Collapse -0.0 onto 0.0 so sign canonicalisation cannot split them.
+    if a == 0.0 { 0.0f64 } else { a }.to_bits()
+}
+
+/// Closes `generators` into orbits over the binary variables via
+/// union-find. Returns `(orbit_of, orbit_rep, orbit_count, orbit_vars)`.
+fn binary_orbits(
+    n: usize,
+    generators: &[SignedPerm],
+    is_bin: &[bool],
+) -> (Vec<Option<usize>>, Vec<bool>, usize, usize) {
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for g in generators {
+        for (i, &(j, _)) in g.iter().enumerate() {
+            if is_bin[i] && is_bin[j] && i != j {
+                let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                if a != b {
+                    parent[a.max(b)] = a.min(b);
+                }
+            }
+        }
+    }
+    let mut members: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (i, &bin) in is_bin.iter().enumerate().take(n) {
+        if bin {
+            members.entry(find(&mut parent, i)).or_default().push(i);
+        }
+    }
+    let mut orbit_of = vec![None; n];
+    let mut orbit_rep = vec![true; n];
+    let (mut count, mut vars) = (0usize, 0usize);
+    for (_, mem) in members {
+        if mem.len() < 2 {
+            continue;
+        }
+        let rep = mem[0];
+        for &v in &mem {
+            orbit_of[v] = Some(count);
+            orbit_rep[v] = v == rep;
+        }
+        count += 1;
+        vars += mem.len();
+    }
+    (orbit_of, orbit_rep, count, vars)
+}
+
+/// Orbit summary of `generators` over the binaries of `model`:
+/// `(orbit count, binaries in orbits)`, counting only orbits of size
+/// ≥ 2. Callers must pass generators already accepted by
+/// [`verify_automorphism`].
+pub fn orbit_summary(model: &Model, generators: &[SignedPerm]) -> (usize, usize) {
+    let n = model.var_count();
+    let is_bin: Vec<bool> = model
+        .vars()
+        .iter()
+        .map(|v| v.kind == VarKind::Binary)
+        .collect();
+    let (_, _, count, vars) = binary_orbits(n, generators, &is_bin);
+    (count, vars)
+}
+
+/// Runs the full static analysis; see the module docs. `generators` must
+/// already be verified by [`verify_automorphism`] (branch-and-bound does
+/// this; the count of rejected ones can be passed for stats).
+pub fn analyze(model: &Model, generators: &[SignedPerm], opts: &AnalyzeOptions) -> Analysis {
+    let n = model.var_count();
+    let mut out = Analysis::trivial(model);
+    let is_bin: Vec<bool> = model
+        .vars()
+        .iter()
+        .map(|v| v.kind == VarKind::Binary)
+        .collect();
+    out.stats.binaries = is_bin.iter().filter(|&&b| b).count();
+
+    // Orbits first: probing walks representatives before mates so orbit
+    // propagation pays off on the very first pass.
+    let (orbit_of, orbit_rep, orbit_count, orbit_vars) = binary_orbits(n, generators, &is_bin);
+    out.orbit_of = orbit_of;
+    out.orbit_rep = orbit_rep;
+    out.stats.orbit_count = orbit_count;
+    out.stats.orbit_vars = orbit_vars;
+
+    // --- Conflict graph + clique table from the rows -------------------
+    let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut cliques: BTreeSet<Vec<usize>> = BTreeSet::new();
+    for c in model.constraints() {
+        // View every row in ≤-form; Eq rows contribute their ≤ direction.
+        let forms: &[f64] = match c.op {
+            ConstraintOp::Leq | ConstraintOp::Eq => &[1.0],
+            ConstraintOp::Geq => &[-1.0],
+        };
+        for &s in forms {
+            let rhs = s * c.rhs;
+            // Minimum activity over all terms (binaries contribute their
+            // lower bound side) plus the positive binary candidates.
+            let mut minact = 0.0f64;
+            let mut unbounded = false;
+            let mut cand: Vec<(f64, usize)> = Vec::new();
+            for (v, a0) in c.expr.terms() {
+                let j = v.index();
+                let a = s * a0;
+                let (lb, ub) = (out.lower[j], out.upper[j]);
+                let lo = if a > 0.0 { a * lb } else { a * ub };
+                if lo == f64::NEG_INFINITY {
+                    unbounded = true;
+                    break;
+                }
+                minact += lo;
+                if is_bin[j] && a > 0.0 && ub - lb > 0.5 {
+                    cand.push((a, j));
+                }
+            }
+            if unbounded || cand.len() < 2 {
+                continue;
+            }
+            // Ascending by coefficient: the suffix from the first index
+            // whose two smallest members overshoot is a clique.
+            cand.sort_unstable_by(|x, y| {
+                x.0.partial_cmp(&y.0).expect("finite").then(x.1.cmp(&y.1))
+            });
+            let t = cand.len();
+            let mut start = None;
+            for i in 0..t - 1 {
+                if cand[i].0 + cand[i + 1].0 + minact > rhs + CONFLICT_TOL {
+                    start = Some(i);
+                    break;
+                }
+            }
+            let Some(start) = start else { continue };
+            let clique: Vec<usize> = cand[start..].iter().map(|&(_, j)| j).collect();
+            for (x, &a) in clique.iter().enumerate() {
+                for &b in clique.iter().skip(x + 1) {
+                    edges.insert((a.min(b), a.max(b)));
+                }
+            }
+            if clique.len() >= 2 {
+                cliques.insert(clique);
+            }
+        }
+    }
+
+    // --- Root probing --------------------------------------------------
+    let prop = Propagator::new(model);
+    let order: Vec<usize> = {
+        // Representatives first, then orbit mates, each in index order.
+        let mut reps: Vec<usize> = (0..n).filter(|&j| is_bin[j] && out.orbit_rep[j]).collect();
+        let mates: Vec<usize> = (0..n).filter(|&j| is_bin[j] && !out.orbit_rep[j]).collect();
+        reps.extend(mates);
+        reps
+    };
+    let mut probed = 0usize;
+    'probing: for &j in &order {
+        if out.lower[j] >= out.upper[j] - 0.5 {
+            continue; // already fixed
+        }
+        if probed >= opts.probe_cap {
+            break;
+        }
+        probed += 1;
+        let run = |fix_to: f64| -> Option<(Vec<f64>, Vec<f64>)> {
+            let mut lo = out.lower.clone();
+            let mut up = out.upper.clone();
+            lo[j] = fix_to;
+            up[j] = fix_to;
+            prop.propagate(&mut lo, &mut up).map(|_| (lo, up))
+        };
+        let zero = run(0.0);
+        let one = run(1.0);
+        out.stats.probes += 2;
+        let fix = |out: &mut Analysis, value: f64, probed_v: f64| {
+            out.fixings.push(ProbeFixing {
+                var: j,
+                value,
+                probed: probed_v,
+            });
+            out.lower[j] = value;
+            out.upper[j] = value;
+            out.stats.probe_fixings += 1;
+            if !opts.certify {
+                if let Some(orbit) = out.orbit_of[j] {
+                    for m in 0..n {
+                        if m != j && out.orbit_of[m] == Some(orbit) && out.lower[m] < out.upper[m] {
+                            out.fixings.push(ProbeFixing {
+                                var: m,
+                                value,
+                                probed: probed_v,
+                            });
+                            out.lower[m] = value;
+                            out.upper[m] = value;
+                            out.stats.orbit_fixings += 1;
+                        }
+                    }
+                }
+            }
+        };
+        match (zero, one) {
+            (None, None) => {
+                // No feasible value at all. Outside certify mode that is
+                // a terminal verdict; in certify mode log the 1-side
+                // refutation (auditable on its own) and let the tree
+                // prove the rest.
+                if opts.certify {
+                    fix(&mut out, 0.0, 1.0);
+                    break 'probing;
+                }
+                out.infeasible = true;
+                return out;
+            }
+            (None, Some((lo, up))) => {
+                fix(&mut out, 1.0, 0.0);
+                if !opts.certify {
+                    adopt(&mut out, &lo, &up);
+                }
+            }
+            (Some((lo, up)), None) => {
+                fix(&mut out, 0.0, 1.0);
+                if !opts.certify {
+                    adopt(&mut out, &lo, &up);
+                }
+            }
+            (Some((lo0, up0)), Some((lo1, up1))) => {
+                // Implications: a binary forced by the 1-side is in
+                // conflict with (or implied by) j.
+                for k in 0..n {
+                    if k == j || !is_bin[k] || out.upper[k] - out.lower[k] < 0.5 {
+                        continue;
+                    }
+                    if up1[k] < 0.5 {
+                        // j = 1 ⇒ k = 0: a conflict edge.
+                        out.stats.implications += 1;
+                        edges.insert((j.min(k), j.max(k)));
+                    } else if lo1[k] > 0.5 || up0[k] < 0.5 || lo0[k] > 0.5 {
+                        out.stats.implications += 1;
+                    }
+                }
+                if !opts.certify {
+                    // Lifted bounds: every feasible point lives in the
+                    // union of the two propagated boxes.
+                    for v in 0..n {
+                        let nl = lo0[v].min(lo1[v]);
+                        let nu = up0[v].max(up1[v]);
+                        if nl > out.lower[v] {
+                            out.lower[v] = nl;
+                            out.stats.lifted_bounds += 1;
+                        }
+                        if nu < out.upper[v] {
+                            out.upper[v] = nu;
+                            out.stats.lifted_bounds += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Final shape ----------------------------------------------------
+    for &(a, b) in &edges {
+        out.degree[a] += 1;
+        out.degree[b] += 1;
+    }
+    out.stats.conflict_edges = edges.len();
+    out.edges = edges.into_iter().collect();
+    out.stats.cliques = cliques.len();
+    out.stats.max_clique = cliques.iter().map(Vec::len).max().unwrap_or(0);
+    out.cliques = cliques.into_iter().collect();
+    out
+}
+
+/// Adopts the propagated box of a successful forced probe (the fixing's
+/// consequences are implied for every feasible point). Non-certify only.
+fn adopt(out: &mut Analysis, lo: &[f64], up: &[f64]) {
+    for v in 0..out.lower.len() {
+        if lo[v] > out.lower[v] {
+            out.lower[v] = lo[v];
+        }
+        if up[v] < out.upper[v] {
+            out.upper[v] = up[v];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::model::Sense;
+
+    #[test]
+    fn gub_row_yields_a_clique() {
+        let mut m = Model::new(Sense::Minimize);
+        let xs: Vec<_> = (0..4).map(|i| m.binary_var(format!("x{i}"))).collect();
+        let mut sum = LinExpr::new();
+        for &x in &xs {
+            sum.add_term(x, 1.0);
+        }
+        m.add_eq(sum, 1.0);
+        m.set_objective(LinExpr::from(xs[0]));
+        let a = analyze(&m, &[], &AnalyzeOptions::default());
+        assert_eq!(a.stats.max_clique, 4);
+        assert_eq!(a.stats.conflict_edges, 6);
+        assert!(a.degree.iter().take(4).all(|&d| d == 3));
+    }
+
+    #[test]
+    fn probing_fixes_a_forced_binary() {
+        // x + y ≥ 1 and x ≥ y force x = 1: probing x = 0 gives y ≥ 1
+        // and y ≤ 0.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.binary_var("x");
+        let y = m.binary_var("y");
+        m.add_geq(x + y, 1.0);
+        m.add_geq(x - y, 0.0);
+        m.set_objective(x + y);
+        let a = analyze(&m, &[], &AnalyzeOptions::default());
+        assert!(!a.infeasible);
+        assert_eq!(a.stats.probe_fixings, 1);
+        assert_eq!(a.fixings[0].var, 0);
+        assert_eq!(a.fixings[0].value, 1.0);
+        assert_eq!(a.fixings[0].probed, 0.0);
+        assert_eq!((a.lower[0], a.upper[0]), (1.0, 1.0));
+    }
+
+    #[test]
+    fn probing_detects_infeasibility() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.binary_var("x");
+        let y = m.binary_var("y");
+        m.add_geq(x + y, 2.0); // forces both 1
+        m.add_leq(x + y, 1.0); // forbids it
+        m.set_objective(x + y);
+        let a = analyze(&m, &[], &AnalyzeOptions::default());
+        assert!(a.infeasible);
+        // In certify mode the verdict becomes a logged fixing instead.
+        let c = analyze(
+            &m,
+            &[],
+            &AnalyzeOptions {
+                certify: true,
+                ..AnalyzeOptions::default()
+            },
+        );
+        assert!(!c.infeasible);
+        assert_eq!(c.stats.probe_fixings, 1);
+    }
+
+    #[test]
+    fn certify_mode_logs_no_unproved_deductions() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.binary_var("x");
+        let y = m.binary_var("y");
+        let z = m.integer_var("z", 0.0, 9.0);
+        m.add_geq(x + y, 1.0);
+        m.add_geq(x - y, 0.0);
+        m.add_leq(LinExpr::from(z) - 4.0 * LinExpr::from(x), 0.0);
+        m.set_objective(x + y + z);
+        let c = analyze(
+            &m,
+            &[],
+            &AnalyzeOptions {
+                certify: true,
+                ..AnalyzeOptions::default()
+            },
+        );
+        assert_eq!(c.stats.lifted_bounds, 0);
+        assert_eq!(c.stats.orbit_fixings, 0);
+        // Every bound change is explained by a logged fixing.
+        let fixed: Vec<usize> = c.fixings.iter().map(|f| f.var).collect();
+        for j in 0..m.var_count() {
+            let (lb, ub) = m.var_bounds(crate::expr::VarId(j));
+            if (c.lower[j], c.upper[j]) != (lb, ub) {
+                assert!(fixed.contains(&j), "unlogged bound change on {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn automorphism_swap_verifies_and_ordering_rows_break_it() {
+        // x and y are interchangeable in x + y ≤ 1 with equal costs.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.binary_var("x");
+        let y = m.binary_var("y");
+        m.add_leq(x + y, 1.0);
+        m.set_objective(x + y);
+        let swap = vec![(1, false), (0, false)];
+        assert!(verify_automorphism(&m, &swap));
+        assert!(verify_automorphism(&m, &[(0, false), (1, false)]));
+        // An ordering row x ≥ y breaks the swap...
+        let mut m2 = Model::new(Sense::Minimize);
+        let x = m2.binary_var("x");
+        let y = m2.binary_var("y");
+        m2.add_leq(x + y, 1.0);
+        m2.add_geq(x - y, 0.0);
+        m2.set_objective(x + y);
+        assert!(!verify_automorphism(&m2, &swap));
+        // ...and unequal costs break it too.
+        let mut m3 = Model::new(Sense::Minimize);
+        let x = m3.binary_var("x");
+        let y = m3.binary_var("y");
+        m3.add_leq(x + y, 1.0);
+        m3.set_objective(2.0 * LinExpr::from(x) + y);
+        assert!(!verify_automorphism(&m3, &swap));
+    }
+
+    #[test]
+    fn sign_flip_automorphism_on_symmetric_flow() {
+        // f ∈ [−3, 3] continuous with f + 3x ≥ 0 and f − 3x ≤ 0: negating
+        // f maps the two gating rows onto each other.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.binary_var("x");
+        let f = m.continuous_var("f", -3.0, 3.0);
+        m.add_geq(LinExpr::from(f) + 3.0 * LinExpr::from(x), 0.0);
+        m.add_leq(LinExpr::from(f) - 3.0 * LinExpr::from(x), 0.0);
+        m.set_objective(LinExpr::from(x));
+        assert!(verify_automorphism(&m, &[(0, false), (1, true)]));
+        // Flipping a binary is never accepted.
+        assert!(!verify_automorphism(&m, &[(0, true), (1, false)]));
+    }
+
+    #[test]
+    fn orbit_fixing_propagates_to_mates() {
+        // Two interchangeable forced binaries: x0 + x1 ≥ 2.
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.binary_var("a");
+        let b = m.binary_var("b");
+        m.add_geq(a + b, 2.0);
+        m.set_objective(a + b);
+        let swap = vec![(1usize, false), (0usize, false)];
+        assert!(verify_automorphism(&m, &swap));
+        let an = analyze(&m, &[swap], &AnalyzeOptions::default());
+        assert_eq!(an.stats.orbit_count, 1);
+        assert_eq!(an.stats.orbit_vars, 2);
+        assert_eq!(an.stats.probe_fixings + an.stats.orbit_fixings, 2);
+        assert!(an.stats.orbit_fixings >= 1, "mate fixed via the orbit");
+        assert_eq!((an.lower[0], an.lower[1]), (1.0, 1.0));
+    }
+
+    #[test]
+    fn probe_cap_limits_probing() {
+        let mut m = Model::new(Sense::Minimize);
+        let xs: Vec<_> = (0..6).map(|i| m.binary_var(format!("x{i}"))).collect();
+        let mut sum = LinExpr::new();
+        for &x in &xs {
+            sum.add_term(x, 1.0);
+        }
+        m.add_geq(sum, 6.0); // all forced
+        m.set_objective(LinExpr::from(xs[0]));
+        // Certify mode probes each binary individually (no propagated-box
+        // adoption), so the cap is directly observable.
+        let a = analyze(
+            &m,
+            &[],
+            &AnalyzeOptions {
+                certify: true,
+                probe_cap: 2,
+            },
+        );
+        assert_eq!(a.stats.probes, 4);
+        assert_eq!(a.stats.probe_fixings, 2);
+    }
+}

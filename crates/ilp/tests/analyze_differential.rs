@@ -1,0 +1,451 @@
+//! Differential harness for the root static analysis ([`fpva_ilp::analyze`]):
+//! every deduction the analyzer emits must preserve the integer feasible
+//! set, and every corrupted probing log must fail the exact audit.
+//!
+//! Random MILPs are generated **by status class** with the same witness
+//! construction as `ilp_differential.rs` — the class is guaranteed, so a
+//! disagreement is always an analyzer bug, never an ambiguous instance:
+//!
+//! * **feasible / degenerate** — an integral witness `x0` inside a finite
+//!   box; the analyzer's lifted box must still contain `x0` (checked via a
+//!   [`fpva_ilp::dense`] solve of the tightened relaxation staying
+//!   `Optimal`) and the tightened MILP must keep the exact optimum of the
+//!   untightened solve;
+//! * **infeasible** — the witness construction plus a contradictory row;
+//!   whatever the analyzer deduces, the verdict must stay `Infeasible`;
+//! * **unbounded** — a continuous cost −1 ray variable; the analyzer may
+//!   not clip the ray's infinite bound, and the verdict must stay
+//!   `Unbounded`.
+//!
+//! On top of the set-preservation checks, every logged probe fixing is
+//! replayed *differentially*: re-solving the model with the variable
+//! clamped to the refuted value must come back `Infeasible` from a solver
+//! with analysis disabled — the deduction must be true, not just internally
+//! consistent.
+//!
+//! The deterministic tests at the bottom corrupt a certified solve's
+//! probing log one field at a time; `certify_outcome` must reject every
+//! mutant with [`CertifyError::Analysis`] — a 100% kill rate, since each
+//! corruption claims a deduction the exact re-derivation cannot make.
+
+use fpva_ilp::certify::CertifyError;
+use fpva_ilp::dense;
+use fpva_ilp::simplex::{LpProblem, LpRow, LpStatus};
+use fpva_ilp::{
+    analyze::{analyze, AnalyzeOptions},
+    certify_outcome, ConstraintOp, LinExpr, MilpSolver, Model, Sense, SolveStatus,
+};
+use proptest::prelude::*;
+
+/// Objective agreement tolerance between the tightened and raw solves.
+const OBJ_TOL: f64 = 1e-6;
+
+/// Per-variable raw draw: (witness value, lower slack below the witness,
+/// upper headroom above it, objective coefficient ×2).
+type VarRaw = (i32, i32, i32, i32);
+/// Per-row raw draw: sparse support as (unreduced index, coefficient),
+/// an operator selector, and a non-negative slack.
+type RowRaw = (Vec<(usize, i32)>, u8, i32);
+/// One full instance draw: variable count, per-variable data (oversized,
+/// truncated to the count), row data, and a spare index.
+type InstanceRaw = (usize, Vec<VarRaw>, Vec<RowRaw>, usize);
+
+fn arb_instance() -> impl Strategy<Value = InstanceRaw> {
+    (
+        2usize..8,
+        proptest::collection::vec((0i32..4, 0i32..3, 0i32..4, -5i32..6), 8..9),
+        proptest::collection::vec(
+            (
+                proptest::collection::vec((0usize..64, -4i32..5), 1..4),
+                0u8..3,
+                0i32..4,
+            ),
+            1..6,
+        ),
+        0usize..64,
+    )
+}
+
+/// Builds a guaranteed-feasible, guaranteed-bounded LP around the integral
+/// witness point (see `ilp_differential.rs` for the construction).
+fn build_feasible(raw: &InstanceRaw, tight: bool, duplicate: bool) -> LpProblem {
+    let (n, ref vars, ref rows, _) = *raw;
+    let x0: Vec<f64> = vars[..n].iter().map(|v| f64::from(v.0)).collect();
+    let lower: Vec<f64> = vars[..n]
+        .iter()
+        .zip(&x0)
+        .map(|(v, x)| x - f64::from(v.1))
+        .collect();
+    let upper: Vec<f64> = vars[..n]
+        .iter()
+        .zip(&x0)
+        .map(|(v, x)| x + f64::from(v.2))
+        .collect();
+    let objective: Vec<f64> = vars[..n].iter().map(|v| f64::from(v.3) * 0.5).collect();
+    let mut out_rows = Vec::new();
+    for (support, op_sel, slack) in rows {
+        let coeffs: Vec<(usize, f64)> = support
+            .iter()
+            .map(|&(j, a)| (j % n, f64::from(a)))
+            .collect();
+        let ax0: f64 = coeffs.iter().map(|&(j, a)| a * x0[j]).sum();
+        let slack = if tight { 0.0 } else { f64::from(*slack) };
+        let (op, rhs) = match op_sel % 3 {
+            0 => (ConstraintOp::Leq, ax0 + slack),
+            1 => (ConstraintOp::Geq, ax0 - slack),
+            _ => (ConstraintOp::Eq, ax0),
+        };
+        let row = LpRow { coeffs, op, rhs };
+        if duplicate {
+            out_rows.push(row.clone());
+        }
+        out_rows.push(row);
+    }
+    LpProblem {
+        objective,
+        rows: out_rows,
+        lower,
+        upper,
+    }
+}
+
+/// The feasible problem plus the contradictory row `x_j ≥ ub_j + 1`.
+fn build_infeasible(raw: &InstanceRaw) -> LpProblem {
+    let mut p = build_feasible(raw, false, false);
+    let j = raw.3 % raw.0;
+    p.rows.push(LpRow {
+        coeffs: vec![(j, 1.0)],
+        op: ConstraintOp::Geq,
+        rhs: p.upper[j] + 1.0,
+    });
+    p
+}
+
+/// The feasible problem plus a cost −1 continuous ray `z ∈ [0, ∞)` that
+/// appears (with +1) only in `≥` rows: `(x0, z → ∞)` stays feasible while
+/// the objective dives.
+fn build_unbounded(raw: &InstanceRaw) -> LpProblem {
+    let mut p = build_feasible(raw, false, false);
+    let z = p.objective.len();
+    for row in &mut p.rows {
+        if row.op == ConstraintOp::Geq {
+            row.coeffs.push((z, 1.0));
+        }
+    }
+    p.objective.push(-1.0);
+    p.lower.push(0.0);
+    p.upper.push(f64::INFINITY);
+    p
+}
+
+/// Mirrors `p` as a minimisation [`Model`]; `integer[j]` (when present)
+/// upgrades variable `j` to an integer. All witnesses and bounds above are
+/// integral, so integrality never breaks the guaranteed status class.
+fn model_from_problem(p: &LpProblem, integer: &[bool]) -> Model {
+    let mut m = Model::new(Sense::Minimize);
+    let ids: Vec<_> = p
+        .lower
+        .iter()
+        .zip(&p.upper)
+        .enumerate()
+        .map(|(j, (&l, &u))| {
+            if integer.get(j).copied().unwrap_or(false) {
+                m.integer_var(format!("x{j}"), l, u)
+            } else {
+                m.continuous_var(format!("x{j}"), l, u)
+            }
+        })
+        .collect();
+    let mut obj = LinExpr::new();
+    for (j, &c) in p.objective.iter().enumerate() {
+        obj.add_term(ids[j], c);
+    }
+    m.set_objective(obj);
+    for row in &p.rows {
+        let mut e = LinExpr::new();
+        for &(j, a) in &row.coeffs {
+            e.add_term(ids[j], a);
+        }
+        m.add_constraint(e, row.op, row.rhs);
+    }
+    m
+}
+
+/// Every other variable integer, rotated by the instance's spare index.
+fn integer_mask(raw: &InstanceRaw) -> Vec<bool> {
+    (0..raw.0).map(|j| (j + raw.3).is_multiple_of(2)).collect()
+}
+
+/// A reference solver with both presolve and the root analysis disabled:
+/// the plain branch-and-bound acts as the ground-truth oracle the
+/// analyzer's claims are checked against.
+fn plain_solver() -> MilpSolver {
+    MilpSolver::new().presolve(false).analyze(false)
+}
+
+/// The core differential check, shared by the four status classes.
+///
+/// Runs [`analyze`] on the mirrored model, then:
+/// 1. solves the *untightened* model with the plain oracle solver;
+/// 2. if the analyzer claims root infeasibility, the oracle must agree;
+/// 3. otherwise re-solves under the analyzer's tightened box and demands
+///    the identical status (and objective, when optimal) — a deduction
+///    that cuts off the optimum or revives an infeasible model is a bug;
+/// 4. replays every logged probe fixing against the oracle: clamping the
+///    variable to the refuted value must be `Infeasible`.
+fn check_analysis_preserves(p: &LpProblem, integer: &[bool]) -> Result<(), TestCaseError> {
+    let m = model_from_problem(p, integer);
+    let analysis = analyze(&m, &[], &AnalyzeOptions::default());
+    let reference = plain_solver().solve(&m).unwrap();
+
+    if analysis.infeasible {
+        prop_assert_eq!(
+            reference.status,
+            SolveStatus::Infeasible,
+            "analysis proved infeasibility of a model the solver decides {:?}",
+            reference.status
+        );
+        return Ok(());
+    }
+
+    // The tightened model: same rows and objective, the analyzer's box.
+    prop_assert_eq!(analysis.lower.len(), p.lower.len());
+    let tight = LpProblem {
+        objective: p.objective.clone(),
+        rows: p.rows.clone(),
+        lower: analysis.lower.clone(),
+        upper: analysis.upper.clone(),
+    };
+    for j in 0..p.lower.len() {
+        prop_assert!(
+            tight.lower[j] >= p.lower[j] - OBJ_TOL && tight.upper[j] <= p.upper[j] + OBJ_TOL,
+            "analysis widened the box on x{j}: [{}, {}] -> [{}, {}]",
+            p.lower[j],
+            p.upper[j],
+            tight.lower[j],
+            tight.upper[j]
+        );
+    }
+    let tm = model_from_problem(&tight, integer);
+    let tightened = plain_solver().solve(&tm).unwrap();
+    prop_assert_eq!(
+        tightened.status,
+        reference.status,
+        "analysis moved the verdict from {:?} to {:?}",
+        reference.status,
+        tightened.status
+    );
+    if reference.status == SolveStatus::Optimal {
+        let a = reference.best.as_ref().expect("optimal carries a solution");
+        let b = tightened.best.as_ref().expect("optimal carries a solution");
+        prop_assert!(
+            (a.objective - b.objective).abs() <= OBJ_TOL,
+            "analysis moved the optimum from {} to {}",
+            a.objective,
+            b.objective
+        );
+        // Stronger than objective agreement: the untightened optimum is a
+        // feasible point, so it must survive every deduction verbatim.
+        for (j, &v) in a.values().iter().enumerate() {
+            prop_assert!(
+                v >= analysis.lower[j] - OBJ_TOL && v <= analysis.upper[j] + OBJ_TOL,
+                "lifted bound on x{j} cuts off the optimum {v}: [{}, {}]",
+                analysis.lower[j],
+                analysis.upper[j]
+            );
+        }
+        for f in &analysis.fixings {
+            prop_assert!(
+                (a.values()[f.var] - f.value).abs() <= OBJ_TOL,
+                "fixing x{} = {} contradicts the optimum's {}",
+                f.var,
+                f.value,
+                a.values()[f.var]
+            );
+        }
+    }
+
+    // Differential fixing replay: the refuted side must truly be
+    // integer-infeasible, as judged by the analysis-free oracle.
+    for f in &analysis.fixings {
+        let mut clamped = p.clone();
+        clamped.lower[f.var] = f.probed;
+        clamped.upper[f.var] = f.probed;
+        let out = plain_solver()
+            .solve(&model_from_problem(&clamped, integer))
+            .unwrap();
+        prop_assert_eq!(
+            out.status,
+            SolveStatus::Infeasible,
+            "probe fixing x{} = {} claims x{} = {} is infeasible, but the oracle says {:?}",
+            f.var,
+            f.value,
+            f.var,
+            f.probed,
+            out.status
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn analysis_preserves_feasible(raw in arb_instance()) {
+        let p = build_feasible(&raw, false, false);
+        check_analysis_preserves(&p, &integer_mask(&raw))?;
+        // Relaxation sanity: the integral witness survives the lifted box,
+        // so the dense oracle on the tightened *relaxation* stays Optimal.
+        let m = model_from_problem(&p, &integer_mask(&raw));
+        let analysis = analyze(&m, &[], &AnalyzeOptions::default());
+        prop_assert!(!analysis.infeasible, "analysis refuted a feasible instance");
+        let d = dense::solve(&LpProblem {
+            objective: p.objective.clone(),
+            rows: p.rows.clone(),
+            lower: analysis.lower.clone(),
+            upper: analysis.upper.clone(),
+        });
+        prop_assert_eq!(
+            d.status,
+            LpStatus::Optimal,
+            "tightened relaxation of a feasible instance: {:?}",
+            d.status
+        );
+    }
+
+    #[test]
+    fn analysis_preserves_degenerate(raw in arb_instance()) {
+        // Tight, duplicated rows: probing walks a maze of redundant
+        // constraints, the classic source of over-eager deductions.
+        check_analysis_preserves(&build_feasible(&raw, true, true), &integer_mask(&raw))?;
+    }
+
+    #[test]
+    fn analysis_preserves_infeasible(raw in arb_instance()) {
+        check_analysis_preserves(&build_infeasible(&raw), &integer_mask(&raw))?;
+    }
+
+    #[test]
+    fn analysis_preserves_unbounded(raw in arb_instance()) {
+        let p = build_unbounded(&raw);
+        let integer = integer_mask(&raw);
+        check_analysis_preserves(&p, &integer)?;
+        // The ray variable's headroom is the unboundedness itself: any
+        // "lifted" finite cap on it would silently bound the model.
+        let m = model_from_problem(&p, &integer);
+        let analysis = analyze(&m, &[], &AnalyzeOptions::default());
+        if !analysis.infeasible {
+            let z = p.objective.len() - 1;
+            prop_assert!(
+                analysis.upper[z].is_infinite(),
+                "analysis clipped the ray variable to {}",
+                analysis.upper[z]
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corrupted probing logs: `certify_outcome` must reject every mutant.
+// ---------------------------------------------------------------------------
+
+/// The canonical forced-fixing model: `x + y ≥ 1` and `x − y ≥ 0` force
+/// `x = 1` (probing `x = 0` propagates `y ≥ 1` and `y ≤ 0`). A certified
+/// solve of it logs exactly that deduction.
+fn forced_fixing_model() -> Model {
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.binary_var("x");
+    let y = m.binary_var("y");
+    m.add_geq(x + y, 1.0);
+    m.add_geq(x - y, 0.0);
+    m.set_objective(x + y);
+    m
+}
+
+#[test]
+fn certified_probing_log_passes_pristine() {
+    let m = forced_fixing_model();
+    let out = MilpSolver::new().certificate(true).solve(&m).unwrap();
+    assert_eq!(out.status, SolveStatus::Optimal);
+    let cert = out
+        .certificate
+        .as_ref()
+        .expect("certified solve logs a proof");
+    assert!(
+        !cert.analysis.is_empty(),
+        "the forced fixing x = 1 must appear in the probing log"
+    );
+    let summary = certify_outcome(&m, &out).expect("pristine certificate verifies");
+    assert_eq!(summary.probe_fixings, cert.analysis.len());
+}
+
+/// Every corruption of the probing log must die in the exact audit — a
+/// 100% kill rate. Each mutant claims a deduction whose exact rational
+/// re-derivation fails, so surviving one is a soundness hole.
+#[test]
+fn corrupted_probing_logs_are_rejected() {
+    let m = forced_fixing_model();
+    let out = MilpSolver::new().certificate(true).solve(&m).unwrap();
+    assert_eq!(out.status, SolveStatus::Optimal);
+    assert!(!out.certificate.as_ref().unwrap().analysis.is_empty());
+
+    type Mutation = Box<dyn Fn(&mut fpva_ilp::ProbeFixing)>;
+    let mutations: Vec<(&str, Mutation)> = vec![
+        (
+            "swap value and probed (claims x = 0 forced)",
+            Box::new(|f| {
+                std::mem::swap(&mut f.value, &mut f.probed);
+            }),
+        ),
+        (
+            "retarget the fixing to the unforced variable y",
+            Box::new(|f| f.var = 1),
+        ),
+        (
+            "probe the already-true side (no refutation exists)",
+            Box::new(|f| f.probed = f.value),
+        ),
+        ("out-of-range variable index", Box::new(|f| f.var = 99)),
+        (
+            "fractional fixed value on a binary",
+            Box::new(|f| f.value = 0.5),
+        ),
+    ];
+    let mut rejected = 0usize;
+    for (what, mutate) in &mutations {
+        let mut mutant = out.clone();
+        let log = &mut mutant.certificate.as_mut().unwrap().analysis;
+        mutate(&mut log[0]);
+        match certify_outcome(&m, &mutant) {
+            Err(CertifyError::Analysis { .. }) => rejected += 1,
+            Err(other) => panic!("{what}: rejected, but not as an analysis error: {other:?}"),
+            Ok(_) => panic!("{what}: corrupted probing log certified"),
+        }
+    }
+    assert_eq!(rejected, mutations.len(), "every mutant must be rejected");
+}
+
+/// A fabricated deduction appended to an otherwise-valid log must also be
+/// rejected: the audit re-derives each entry, it does not just check the
+/// entries it happens to like.
+#[test]
+fn fabricated_probing_entry_is_rejected() {
+    let m = forced_fixing_model();
+    let out = MilpSolver::new().certificate(true).solve(&m).unwrap();
+    let mut mutant = out.clone();
+    mutant
+        .certificate
+        .as_mut()
+        .unwrap()
+        .analysis
+        .push(fpva_ilp::ProbeFixing {
+            var: 1,
+            value: 1.0,
+            probed: 0.0,
+        });
+    match certify_outcome(&m, &mutant) {
+        Err(CertifyError::Analysis { .. }) => {}
+        other => panic!("fabricated y = 1 deduction must be rejected, got {other:?}"),
+    }
+}

@@ -267,3 +267,49 @@ fn unchannelled_5x5_dual_warm_resolves_shrink_the_search_tree() {
         stats.nodes
     );
 }
+
+#[test]
+#[ignore = "release-only exact-ILP probe; run with `cargo test --release -- --ignored`"]
+fn channelled_5x5_k3_probe_is_still_open() {
+    // The honest frontier pin (PR 10): the channelled table1_5x5 cover
+    // model at k = 3 is *undecided* within a 10k-node budget, and the
+    // root static analysis explains why none of its levers bite there —
+    // the channel placement breaks every lattice automorphism (zero
+    // verified generators, so orbit branching has nothing to act on)
+    // and the conflict graph is near-empty (a handful of corner-cell
+    // edges on ~130 binaries). If a future change decides this probe,
+    // this test fails on purpose: update it and the ROADMAP frontier
+    // entry together. Measured at PR 10: k = 3 runs past 61k nodes in
+    // 120 s without a verdict.
+    use fpva::ilp::{MilpOptions, MilpSolver, SolveStatus};
+    let f = layouts::table1_5x5();
+    let model = fpva::atpg::ilp_model::cover_model(&f, 3);
+    let symmetry = fpva::atpg::ilp_model::symmetry_generators(&f, 3);
+    assert!(
+        symmetry.is_empty(),
+        "the channelled 5x5 unexpectedly verified {} symmetry generator(s) — \
+         orbit branching may now apply; revisit the ROADMAP frontier entry",
+        symmetry.len()
+    );
+    let out = MilpSolver::with_options(MilpOptions {
+        stop_at_first: true,
+        node_limit: Some(10_000),
+        symmetry,
+        ..MilpOptions::default()
+    })
+    .solve(&model)
+    .expect("the probe itself must not error");
+    assert!(
+        out.stats.analysis.conflict_edges < 20,
+        "the conflict graph grew to {} edges — dense enough to revisit \
+         clique cuts on this instance",
+        out.stats.analysis.conflict_edges
+    );
+    assert_eq!(
+        out.status,
+        SolveStatus::Unknown,
+        "table1_5x5 k=3 decided as {:?} within 10k nodes — the open \
+         frontier entry in ROADMAP.md is stale, rewrite it",
+        out.status
+    );
+}
